@@ -1,0 +1,63 @@
+// Shared plumbing for the figure-reproduction benches: environment-variable
+// knobs so CI can shrink runs, and the standard six-protocol sweep setup.
+//
+// Knobs (all optional):
+//   CHARISMA_BENCH_MEASURE   seconds of measured simulation per run (def 12)
+//   CHARISMA_BENCH_WARMUP    warmup seconds per run (default 4)
+//   CHARISMA_BENCH_REPS      replications per point (default per bench)
+//   CHARISMA_BENCH_THREADS   worker threads (default: hardware concurrency)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "charisma.hpp"
+
+namespace charisma::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline experiment::RunSpec standard_spec(int default_reps = 2) {
+  experiment::RunSpec spec;
+  spec.warmup_s = env_double("CHARISMA_BENCH_WARMUP", 4.0);
+  spec.measure_s = env_double("CHARISMA_BENCH_MEASURE", 12.0);
+  spec.replications = env_int("CHARISMA_BENCH_REPS", default_reps);
+  return spec;
+}
+
+inline experiment::ParallelRunner standard_runner() {
+  return experiment::ParallelRunner(
+      static_cast<unsigned>(env_int("CHARISMA_BENCH_THREADS", 0)));
+}
+
+inline void print_banner(const std::string& what, const std::string& paper) {
+  std::cout << "================================================================\n"
+            << what << "\n"
+            << "Paper reference: " << paper << "\n"
+            << "================================================================\n";
+}
+
+/// When CHARISMA_BENCH_CSV_DIR is set, also writes the table as
+/// `<dir>/<stem>.csv` (for downstream plotting).
+inline void maybe_write_csv(const common::TextTable& table,
+                            const std::string& stem) {
+  const char* dir = std::getenv("CHARISMA_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + stem + ".csv";
+  if (table.write_csv(path)) {
+    std::cout << "(wrote " << path << ")\n";
+  } else {
+    std::cerr << "could not write " << path << '\n';
+  }
+}
+
+}  // namespace charisma::bench

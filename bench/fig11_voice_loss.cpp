@@ -1,0 +1,65 @@
+// Fig. 11 — voice performance: packet loss rate versus the number of voice
+// users, six panels ({without, with} request queue x N_d in {0, 10, 20}),
+// all six protocols, plus the capacity-at-1%-loss summary the paper reads
+// off each panel.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace charisma;
+  bench::print_banner(
+      "Fig. 11: voice packet loss rate versus traffic load",
+      "Kwok & Lau, Fig. 11a-f (six panels, six protocols)");
+
+  const auto runner = bench::standard_runner();
+  const auto metric = [](const experiment::ReplicatedResult& r) {
+    return r.voice_loss.mean();
+  };
+
+  struct Panel {
+    char label;
+    bool queue;
+    int data_users;
+  };
+  const Panel panels[] = {
+      {'a', false, 0},  {'b', true, 0},  {'c', false, 10},
+      {'d', true, 10},  {'e', false, 20}, {'f', true, 20},
+  };
+
+  for (const auto& panel : panels) {
+    experiment::SweepConfig config;
+    config.spec = bench::standard_spec(/*default_reps=*/2);
+    config.spec.params.num_data_users = panel.data_users;
+    config.spec.params.request_queue = panel.queue;
+    config.axis = experiment::SweepAxis::kVoiceUsers;
+    config.x_values = {10, 40, 70, 90, 110, 130, 150, 170};
+    config.protocols_to_run = protocols::all_protocols();
+
+    const auto cells = experiment::run_sweep(config, runner);
+    const std::string title =
+        std::string("Fig. 11") + panel.label + ": voice packet loss rate, " +
+        (panel.queue ? "with" : "without") + " request queue, N_d = " +
+        std::to_string(panel.data_users);
+    const auto table = experiment::figure_table(
+        title, "N_v", cells, config.protocols_to_run, metric,
+        [](double v) { return common::TextTable::sci(v, 2); });
+    table.print(std::cout);
+    bench::maybe_write_csv(table, std::string("fig11") + panel.label);
+    experiment::capacity_table(
+        "  capacity read-off (paper's 1% loss threshold)", cells,
+        config.protocols_to_run, metric, 0.01, "1% voice loss")
+        .print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout
+      << "Shape checks versus the paper:\n"
+      << "  * CHARISMA lowest loss at every load; near-zero floor at low load\n"
+      << "    while every baseline shows a residual error/outage floor.\n"
+      << "  * RMAV collapses at a small fraction of everyone else's load.\n"
+      << "  * The request queue lifts CHARISMA's capacity strongly, the\n"
+      << "    fixed-PHY baselines only slightly (panels a->b).\n"
+      << "  * Adding data users shifts every curve left (panels c-f).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Engine micro-benchmarks (google-benchmark): the hot paths of the common
+// simulation platform — event queue churn, per-frame channel evolution,
+// contention resolution, and one full protocol frame for each protocol.
+#include <benchmark/benchmark.h>
+
+#include "charisma.hpp"
+
+namespace {
+
+using namespace charisma;
+
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < batch; ++i) {
+      queue.schedule(static_cast<double>((i * 7919) % batch), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_UserChannelFrameStep(benchmark::State& state) {
+  channel::UserChannel ch(channel::ChannelConfig{}, common::RngStream(1));
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 2.5e-3;
+    ch.advance_to(t);
+    benchmark::DoNotOptimize(ch.snr_linear());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UserChannelFrameStep);
+
+void BM_JakesSample(benchmark::State& state) {
+  common::RngStream rng(2);
+  channel::JakesFadingGenerator gen(100.0, 32, rng);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-3;
+    benchmark::DoNotOptimize(gen.power_gain(t));
+  }
+}
+BENCHMARK(BM_JakesSample);
+
+void BM_ContentionPhase(benchmark::State& state) {
+  const int contenders = static_cast<int>(state.range(0));
+  std::vector<common::UserId> candidates;
+  std::vector<common::RngStream> rngs;
+  for (int i = 0; i < contenders; ++i) {
+    candidates.push_back(i);
+    rngs.emplace_back(static_cast<std::uint64_t>(i) + 7);
+  }
+  for (auto _ : state) {
+    auto outcome = mac::run_request_phase(
+        candidates, 12, [](common::UserId) { return 0.3; },
+        [&rngs](common::UserId id) -> common::RngStream& {
+          return rngs[static_cast<std::size_t>(id)];
+        });
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations() * 12);
+}
+BENCHMARK(BM_ContentionPhase)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_ModeSelection(benchmark::State& state) {
+  const auto table = phy::ModeTable::abicm6();
+  common::RngStream rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.select(rng.uniform(0.5, 200.0)));
+  }
+}
+BENCHMARK(BM_ModeSelection);
+
+template <protocols::ProtocolId kId>
+void BM_ProtocolSecond(benchmark::State& state) {
+  // Cost of one simulated second (400 frames) at a moderate mixed load.
+  for (auto _ : state) {
+    state.PauseTiming();
+    mac::ScenarioParams params;
+    params.num_voice_users = 60;
+    params.num_data_users = 10;
+    params.seed = 11;
+    auto engine = protocols::make_protocol(kId, params);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine->run(0.0, 1.0));
+  }
+}
+BENCHMARK(BM_ProtocolSecond<protocols::ProtocolId::kCharisma>)
+    ->Name("BM_ProtocolSecond/CHARISMA")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProtocolSecond<protocols::ProtocolId::kDtdmaVr>)
+    ->Name("BM_ProtocolSecond/DTDMA_VR")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProtocolSecond<protocols::ProtocolId::kDtdmaFr>)
+    ->Name("BM_ProtocolSecond/DTDMA_FR")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProtocolSecond<protocols::ProtocolId::kDrma>)
+    ->Name("BM_ProtocolSecond/DRMA")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProtocolSecond<protocols::ProtocolId::kRama>)
+    ->Name("BM_ProtocolSecond/RAMA")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProtocolSecond<protocols::ProtocolId::kRmav>)
+    ->Name("BM_ProtocolSecond/RMAV")->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

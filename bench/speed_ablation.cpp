@@ -1,0 +1,81 @@
+// Section 5.3.3 — mobile speed and CSI usage. The paper reports CHARISMA's
+// performance unchanged from 10-50 km/h and degrading by <5% at 80 km/h,
+// crediting the CSI refresh mechanism. We sweep the Doppler spread implied
+// by 10-80 km/h at a fixed moderate load, with the refresh mechanism on
+// and off, and report the loss inflation relative to the 10 km/h point.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace charisma;
+  bench::print_banner("Sec. 5.3.3: mobile speed and CSI usage",
+                      "Kwok & Lau, Sec. 5.3.3 (speed sensitivity)");
+
+  const auto spec_template = bench::standard_spec(/*default_reps=*/2);
+  const double carrier_hz = 2.0e9;
+
+  struct Row {
+    double kmh;
+    double loss_with_refresh;
+    double loss_without_refresh;
+    double stale_fraction;
+  };
+  std::vector<Row> rows;
+
+  for (double kmh : {10.0, 30.0, 50.0, 65.0, 80.0}) {
+    const double doppler = channel::ChannelConfig::doppler_for_speed(
+        common::km_per_hour(kmh), carrier_hz);
+    double losses[2];
+    double stale_fraction = 0.0;
+    for (int variant = 0; variant < 2; ++variant) {
+      common::Accumulator loss;
+      for (int rep = 0; rep < spec_template.replications; ++rep) {
+        mac::ScenarioParams params = spec_template.params;
+        params.num_voice_users = 100;
+        params.request_queue = true;
+        params.channel.doppler_hz = doppler;
+        params.seed = experiment::replication_seed(
+            1, static_cast<std::uint64_t>(kmh), rep);
+        core::CharismaOptions options;
+        options.enable_csi_refresh = (variant == 0);
+        core::CharismaProtocol proto(params, options);
+        const auto& m = proto.run(spec_template.warmup_s,
+                                  spec_template.measure_s);
+        loss.add(m.voice_loss_rate());
+        if (variant == 0 && m.info_slots_assigned > 0) {
+          stale_fraction = static_cast<double>(m.csi_stale_allocations) /
+                           static_cast<double>(m.info_slots_assigned);
+        }
+      }
+      losses[variant] = loss.mean();
+    }
+    rows.push_back(Row{kmh, losses[0], losses[1], stale_fraction});
+  }
+
+  common::TextTable table(
+      "CHARISMA voice loss versus mobile speed (N_v = 100, with queue)");
+  table.set_header({"speed (km/h)", "Doppler (Hz)", "loss (refresh on)",
+                    "loss (refresh off)", "stale-CSI allocations"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {common::TextTable::num(row.kmh, 0),
+         common::TextTable::num(channel::ChannelConfig::doppler_for_speed(
+                                    common::km_per_hour(row.kmh), carrier_hz),
+                                0),
+         common::TextTable::sci(row.loss_with_refresh, 2),
+         common::TextTable::sci(row.loss_without_refresh, 2),
+         common::TextTable::num(row.stale_fraction, 4)});
+  }
+  table.print(std::cout);
+
+  const double base = rows.front().loss_with_refresh;
+  const double fast = rows.back().loss_with_refresh;
+  std::cout << "\nDegradation 10 -> 80 km/h with refresh: "
+            << common::TextTable::num(
+                   base > 0 ? (fast - base) / base * 100.0 : 0.0, 1)
+            << "% relative (paper: < 5% absolute capacity drop).\n"
+            << "The refresh mechanism's value grows with speed (compare the\n"
+            << "two loss columns) — the paper's Sec. 5.3.3 observation.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fading explorer: visualize the channel substrate for a chosen speed —
+// an ASCII strip-chart of the combined SNR, the ABICM mode occupancy, and
+// the outage statistics that drive every protocol result in the paper.
+//
+//   ./fading_explorer [kmh=50] [seconds=2] [mean_snr_db=16]
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "charisma.hpp"
+
+int main(int argc, char** argv) {
+  using namespace charisma;
+
+  common::KeyValueConfig config;
+  try {
+    config = common::KeyValueConfig::from_args(
+        std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\nusage: fading_explorer [key=value ...]\n";
+    return 1;
+  }
+
+  const double kmh = config.get_double_or("kmh", 50.0);
+  const double seconds = config.get_double_or("seconds", 2.0);
+
+  channel::ChannelConfig cfg;
+  cfg.mean_snr_db = config.get_double_or("mean_snr_db", 16.0);
+  cfg.doppler_hz = channel::ChannelConfig::doppler_for_speed(
+      common::km_per_hour(kmh), 2.0e9);
+
+  std::cout << "Device at " << kmh << " km/h -> Doppler "
+            << common::TextTable::num(cfg.doppler_hz, 1)
+            << " Hz, coherence ~"
+            << common::TextTable::num(1000.0 / cfg.doppler_hz, 1) << " ms\n\n";
+
+  channel::UserChannel ch(
+      cfg, common::RngStream(
+               static_cast<std::uint64_t>(config.get_int_or("seed", 7))));
+  const auto phy = phy::AdaptivePhy::abicm6();
+
+  // Strip chart: one row per 25 ms, column = SNR in dB (offset by 5).
+  std::cout << "SNR strip chart (each row = 25 ms; '|' = mode thresholds "
+               "4/9/13/16.5/20 dB):\n";
+  std::cout << "  -5dB      5        15        25       35\n";
+  std::vector<std::int64_t> mode_histogram(7, 0);  // [0]=outage, 1..6=modes
+  const auto steps = static_cast<long>(seconds / 2.5e-3);
+  for (long i = 1; i <= steps; ++i) {
+    ch.advance_to(static_cast<double>(i) * 2.5e-3);
+    const double db = ch.snr_db();
+    const auto mode = phy.select_mode(ch.snr_linear());
+    ++mode_histogram[static_cast<std::size_t>(mode ? *mode + 1 : 0)];
+    if (i % 10 == 0) {  // one row per 25 ms
+      const int col = std::clamp(static_cast<int>(db + 5.0), 0, 40);
+      std::string row(41, ' ');
+      for (int th : {9, 14, 18, 21, 25}) {  // thresholds + 5 dB offset
+        row[static_cast<std::size_t>(th)] = '|';
+      }
+      row[static_cast<std::size_t>(col)] = '*';
+      std::cout << "  " << row << '\n';
+    }
+  }
+
+  common::TextTable hist("ABICM mode occupancy over the trace");
+  hist.set_header({"mode", "bits/symbol", "fraction of time"});
+  const double total = static_cast<double>(steps);
+  hist.add_row({"outage", "-",
+                common::TextTable::num(
+                    static_cast<double>(mode_histogram[0]) / total, 4)});
+  for (int m = 0; m < 6; ++m) {
+    hist.add_row(
+        {std::to_string(m),
+         common::TextTable::num(phy.table().mode(m).bits_per_symbol, 1),
+         common::TextTable::num(
+             static_cast<double>(
+                 mode_histogram[static_cast<std::size_t>(m + 1)]) /
+                 total,
+             4)});
+  }
+  hist.print(std::cout);
+
+  double mean_tput = 0.0;
+  for (int m = 0; m < 6; ++m) {
+    mean_tput += phy.table().mode(m).bits_per_symbol *
+                 static_cast<double>(
+                     mode_histogram[static_cast<std::size_t>(m + 1)]) /
+                 total;
+  }
+  std::cout << "\nAverage adaptive throughput: "
+            << common::TextTable::num(mean_tput, 2)
+            << " bit/symbol (fixed PHY: 1.0) — the \"~2x\" of the paper's\n"
+               "D-TDMA/VR versus D-TDMA/FR comparison.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Integrated voice + data services — the paper's motivating scenario
+// (Sec. 1): a cell carrying phone calls while nomadic users move files.
+// Shows how each service class fares under CHARISMA as the file-transfer
+// load grows, and what the channel-capacity-fair extension (Sec. 6 / [22])
+// changes for cell-edge users.
+//
+//   ./integrated_services [voice_users=90] [queue=1] [fairness=0]
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "charisma.hpp"
+
+int main(int argc, char** argv) {
+  using namespace charisma;
+
+  common::KeyValueConfig config;
+  try {
+    config = common::KeyValueConfig::from_args(
+        std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\nusage: integrated_services [key=value ...]\n";
+    return 1;
+  }
+
+  const int voice_users = config.get_int_or("voice_users", 90);
+  const bool queue = config.get_bool_or("queue", true);
+  const bool fairness = config.get_bool_or("fairness", false);
+
+  core::CharismaOptions options;
+  options.fairness = fairness ? core::FairnessMode::kCapacityNormalized
+                              : core::FairnessMode::kNone;
+
+  std::cout << "CHARISMA cell: " << voice_users
+            << " voice users, growing file-transfer load, request queue "
+            << (queue ? "on" : "off") << ", capacity-fair scheduling "
+            << (fairness ? "on" : "off") << "\n\n";
+
+  common::TextTable table("Service quality as data load grows");
+  table.set_header({"data users", "voice loss", "data tput/frame",
+                    "data delay (s)", "slot util", "csi polls/frame"});
+  for (int data_users : {0, 10, 20, 40, 60}) {
+    mac::ScenarioParams params;
+    params.num_voice_users = voice_users;
+    params.num_data_users = data_users;
+    params.request_queue = queue;
+    params.seed = static_cast<std::uint64_t>(config.get_int_or("seed", 1));
+    core::CharismaProtocol proto(params, options);
+    const auto& m = proto.run(config.get_double_or("warmup", 4.0),
+                              config.get_double_or("measure", 10.0));
+    table.add_row({std::to_string(data_users),
+                   common::TextTable::sci(m.voice_loss_rate(), 2),
+                   common::TextTable::num(m.data_throughput_per_frame(), 2),
+                   common::TextTable::num(m.mean_data_delay_s(), 3),
+                   common::TextTable::num(m.slot_utilization(), 3),
+                   common::TextTable::num(
+                       static_cast<double>(m.csi_polls) /
+                           static_cast<double>(std::max<std::int64_t>(
+                               1, m.frames)),
+                       2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote how voice QoS is insulated from the data load (the\n"
+               "priority offset V plus deadline urgency), while data rides\n"
+               "the leftover capacity at CSI-selected high modes.\n";
+  return 0;
+}

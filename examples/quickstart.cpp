@@ -1,0 +1,57 @@
+// Quickstart: run CHARISMA and the five baseline protocols on one mixed
+// voice+data scenario and print the paper's three metrics side by side.
+//
+//   ./quickstart [voice_users=80] [data_users=10] [queue=1] [seed=1]
+//
+// Extra "key=value" arguments override scenario fields (see
+// common/config.hpp), e.g. `./quickstart voice_users=120 measure=10`.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "charisma.hpp"
+
+int main(int argc, char** argv) {
+  using namespace charisma;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  common::KeyValueConfig config;
+  try {
+    config = common::KeyValueConfig::from_args(args);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\nusage: quickstart [key=value ...]\n";
+    return 1;
+  }
+
+  experiment::RunSpec spec;
+  spec.params.num_voice_users = config.get_int_or("voice_users", 80);
+  spec.params.num_data_users = config.get_int_or("data_users", 10);
+  spec.params.request_queue = config.get_bool_or("queue", true);
+  spec.params.seed =
+      static_cast<std::uint64_t>(config.get_int_or("seed", 1));
+  spec.warmup_s = config.get_double_or("warmup", 3.0);
+  spec.measure_s = config.get_double_or("measure", 15.0);
+  spec.replications = config.get_int_or("replications", 2);
+
+  std::cout << "CHARISMA quickstart: " << spec.params.num_voice_users
+            << " voice users, " << spec.params.num_data_users
+            << " data users, request queue "
+            << (spec.params.request_queue ? "on" : "off") << "\n\n";
+
+  common::TextTable table("Six uplink access protocols, one scenario");
+  table.set_header({"protocol", "voice loss", "voice drop", "voice err",
+                    "data tput/frame", "data delay (s)", "slot util"});
+  for (auto id : protocols::all_protocols()) {
+    const auto result = experiment::run_replications(id, spec);
+    table.add_row({result.protocol,
+                   common::TextTable::sci(result.voice_loss.mean(), 2),
+                   common::TextTable::sci(result.voice_drop.mean(), 2),
+                   common::TextTable::sci(result.voice_error.mean(), 2),
+                   common::TextTable::num(result.data_throughput.mean(), 2),
+                   common::TextTable::num(result.data_delay_s.mean(), 3),
+                   common::TextTable::num(result.slot_utilization.mean(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nSee bench/ for the full Fig. 11-13 reproductions.\n";
+  return 0;
+}

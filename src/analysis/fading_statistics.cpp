@@ -1,0 +1,87 @@
+#include "analysis/fading_statistics.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace charisma::analysis {
+
+namespace {
+
+// 12-point Gauss-Hermite abscissas/weights (for integrals against
+// exp(-x^2)), transformed below for the N(0, sigma) shadowing expectation.
+constexpr std::array<double, 12> kGhNodes = {
+    -3.889724897869782, -3.020637025120890, -2.279507080501060,
+    -1.597682635152605, -0.947788391240164, -0.314240376254359,
+    0.314240376254359,  0.947788391240164,  1.597682635152605,
+    2.279507080501060,  3.020637025120890,  3.889724897869782};
+constexpr std::array<double, 12> kGhWeights = {
+    2.658551684356306e-07, 8.573687043587876e-05, 3.905390584629062e-03,
+    5.160798561588392e-02, 2.604923102641611e-01, 5.701352362624795e-01,
+    5.701352362624795e-01, 2.604923102641611e-01, 5.160798561588392e-02,
+    3.905390584629062e-03, 8.573687043587876e-05, 2.658551684356306e-07};
+constexpr double kInvSqrtPi = 0.5641895835477563;
+
+/// P(Gamma(L, mean/L) < x) = 1 - Q(L, L x / mean).
+double gamma_cdf_below(int branches, double mean, double x) {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - common::gamma_upper_regularized(branches, branches * x / mean);
+}
+
+}  // namespace
+
+double snr_below_probability(const channel::ChannelConfig& config,
+                             double threshold_linear) {
+  if (threshold_linear < 0.0) {
+    throw std::invalid_argument("snr_below_probability: negative threshold");
+  }
+  const double mean = common::from_db(config.mean_snr_db);
+  if (config.shadow_sigma_db <= 0.0) {
+    return gamma_cdf_below(config.diversity_branches, mean, threshold_linear);
+  }
+  // E over shadow S ~ N(0, sigma_db) of P(fast-fade SNR < th | shadow):
+  // substitute s = sqrt(2) sigma x for the Gauss-Hermite form.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kGhNodes.size(); ++i) {
+    const double shadow_db =
+        std::sqrt(2.0) * config.shadow_sigma_db * kGhNodes[i];
+    const double conditional_mean = mean * common::from_db(shadow_db);
+    sum += kGhWeights[i] * gamma_cdf_below(config.diversity_branches,
+                                           conditional_mean, threshold_linear);
+  }
+  return sum * kInvSqrtPi;
+}
+
+std::vector<double> mode_occupancy(const channel::ChannelConfig& config,
+                                   const phy::ModeTable& table) {
+  std::vector<double> occupancy(static_cast<std::size_t>(table.size()) + 1,
+                                0.0);
+  // P(outage) = P(snr < th_0); P(mode q) = P(th_q <= snr < th_{q+1}).
+  double below_prev = 0.0;
+  for (int q = 0; q < table.size(); ++q) {
+    const double below =
+        snr_below_probability(config, table.mode(q).threshold_linear);
+    occupancy[static_cast<std::size_t>(q)] = below - below_prev;
+    below_prev = below;
+  }
+  // occupancy[q] currently holds P(below th_q) - P(below th_{q-1}):
+  // element 0 is the outage band, element q in 1..size-1 is mode q-1's
+  // band, and the top mode takes the remaining mass.
+  occupancy[static_cast<std::size_t>(table.size())] = 1.0 - below_prev;
+  return occupancy;
+}
+
+double mean_adaptive_throughput(const channel::ChannelConfig& config,
+                                const phy::ModeTable& table) {
+  const auto occupancy = mode_occupancy(config, table);
+  double mean = 0.0;
+  for (int q = 0; q < table.size(); ++q) {
+    mean += occupancy[static_cast<std::size_t>(q) + 1] *
+            table.mode(q).bits_per_symbol;
+  }
+  return mean;
+}
+
+}  // namespace charisma::analysis

@@ -1,0 +1,66 @@
+#include "analysis/slotted_aloha.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace charisma::analysis {
+
+double aloha_success_probability(int contenders, double permission) {
+  if (contenders < 0 || permission < 0.0 || permission > 1.0) {
+    throw std::invalid_argument("aloha_success_probability: bad arguments");
+  }
+  if (contenders == 0) return 0.0;
+  return contenders * permission *
+         std::pow(1.0 - permission, contenders - 1);
+}
+
+double optimal_permission(int contenders) {
+  if (contenders <= 0) {
+    throw std::invalid_argument("optimal_permission: need >= 1 contender");
+  }
+  return 1.0 / contenders;
+}
+
+double expected_winners(int contenders, int minislots, double permission) {
+  if (minislots < 0) {
+    throw std::invalid_argument("expected_winners: negative minislots");
+  }
+  // State: probability distribution over the remaining-contender count.
+  std::vector<double> dist(static_cast<std::size_t>(contenders) + 1, 0.0);
+  dist[static_cast<std::size_t>(contenders)] = 1.0;
+  double expected = 0.0;
+  for (int slot = 0; slot < minislots; ++slot) {
+    std::vector<double> next(dist.size(), 0.0);
+    for (int k = 0; k <= contenders; ++k) {
+      const double pk = dist[static_cast<std::size_t>(k)];
+      if (pk <= 0.0) continue;
+      const double win = aloha_success_probability(k, permission);
+      expected += pk * win;
+      if (k > 0) next[static_cast<std::size_t>(k - 1)] += pk * win;
+      next[static_cast<std::size_t>(k)] += pk * (1.0 - win);
+    }
+    dist.swap(next);
+  }
+  return expected;
+}
+
+int stable_contender_limit(int minislots, double permission,
+                           double arrivals_per_frame) {
+  if (minislots <= 0 || arrivals_per_frame < 0.0) {
+    throw std::invalid_argument("stable_contender_limit: bad arguments");
+  }
+  int limit = 0;
+  for (int k = 1; k <= 10000; ++k) {
+    const double service = minislots * aloha_success_probability(k, permission);
+    if (service >= arrivals_per_frame) {
+      limit = k;
+    } else if (k > 2.0 / std::max(permission, 1e-9)) {
+      break;  // past the throughput peak and already unstable
+    }
+  }
+  return limit;
+}
+
+}  // namespace charisma::analysis

@@ -1,0 +1,47 @@
+#include "analysis/voice_capacity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace charisma::analysis {
+
+double VoiceLoadModel::offered_packets_per_frame(int users) const {
+  if (users < 0) {
+    throw std::invalid_argument("offered_packets_per_frame: negative users");
+  }
+  return users * activity_factor / geometry.frames_per_voice_period;
+}
+
+double VoiceLoadModel::saturation_users() const {
+  return geometry.num_info_slots * geometry.frames_per_voice_period /
+         activity_factor;
+}
+
+double VoiceLoadModel::no_queue_overflow_loss(int users) const {
+  const double lambda = offered_packets_per_frame(users);
+  if (lambda <= 0.0) return 0.0;
+  const int slots = geometry.num_info_slots;
+  // E[max(X - slots, 0)] for X ~ Poisson(lambda), summed to negligible tail.
+  double pk = std::exp(-lambda);  // P(X = 0)
+  double excess = 0.0;
+  double cumulative = pk;
+  for (int k = 1; k <= slots + 200; ++k) {
+    pk *= lambda / k;
+    cumulative += pk;
+    if (k > slots) excess += (k - slots) * pk;
+    if (k > slots && pk < 1e-15 && cumulative > 1.0 - 1e-12) break;
+  }
+  return excess / lambda;
+}
+
+int VoiceLoadModel::no_queue_capacity(double threshold) const {
+  if (threshold <= 0.0 || threshold >= 1.0) {
+    throw std::invalid_argument("no_queue_capacity: bad threshold");
+  }
+  for (int users = 1; users <= 100000; ++users) {
+    if (no_queue_overflow_loss(users) > threshold) return users - 1;
+  }
+  return 100000;
+}
+
+}  // namespace charisma::analysis

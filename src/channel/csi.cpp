@@ -1,0 +1,28 @@
+#include "channel/csi.hpp"
+
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace charisma::channel {
+
+CsiEstimator::CsiEstimator(double error_sigma_db, common::Time validity)
+    : error_sigma_db_(error_sigma_db), validity_(validity) {
+  if (error_sigma_db < 0.0) {
+    throw std::invalid_argument("CsiEstimator: error_sigma_db must be >= 0");
+  }
+  if (validity <= 0.0) {
+    throw std::invalid_argument("CsiEstimator: validity must be > 0");
+  }
+}
+
+CsiEstimate CsiEstimator::estimate(double true_snr_linear, common::Time now,
+                                   common::RngStream& rng) const {
+  double snr = true_snr_linear;
+  if (error_sigma_db_ > 0.0) {
+    snr *= common::from_db(rng.normal(0.0, error_sigma_db_));
+  }
+  return CsiEstimate{snr, now};
+}
+
+}  // namespace charisma::channel

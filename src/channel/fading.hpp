@@ -1,0 +1,92 @@
+// Short-term (multipath) fading models.
+//
+// Two generators are provided:
+//  * JakesFadingGenerator — Clarke/Jakes sum-of-sinusoids model. Produces a
+//    continuous-time complex gain; used for the Fig. 5 style fading traces
+//    and for validating the AR(1) model's autocorrelation against
+//    J0(2*pi*fd*tau).
+//  * ArFadingBranch / DiversityFadingProcess — first-order Gauss-Markov
+//    branches stepped on the frame grid; the per-slot *effective* SNR used
+//    by the protocol simulations is the average power of `branches`
+//    i.i.d. branches (Gamma(L) marginal, i.e. Nakagami-L), modelling
+//    interleaving + diversity combining as motivated in DESIGN.md.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace charisma::channel {
+
+/// Clarke/Jakes sum-of-sinusoids Rayleigh fading. The complex gain at time t
+/// is a deterministic function of t given the randomly drawn arrival angles
+/// and phases, so traces can be sampled at any resolution.
+class JakesFadingGenerator {
+ public:
+  /// `oscillators` >= 8 for an acceptably Rayleigh-like envelope.
+  JakesFadingGenerator(common::Hertz doppler, int oscillators,
+                       common::RngStream& rng);
+
+  /// Complex channel gain at time t; E[|h|^2] == 1.
+  std::complex<double> gain(common::Time t) const;
+
+  /// Power gain |h(t)|^2.
+  double power_gain(common::Time t) const;
+
+  common::Hertz doppler() const { return doppler_; }
+
+ private:
+  common::Hertz doppler_;
+  std::vector<double> doppler_shift_;  // per-oscillator frequency, Hz
+  std::vector<double> phase_;          // per-oscillator initial phase
+  double amplitude_;                   // per-oscillator amplitude
+};
+
+/// One AR(1) complex-Gaussian fading branch stepped on a fixed grid:
+///   h[n+1] = rho * h[n] + sqrt(1 - rho^2) * w[n],  w ~ CN(0, 1).
+/// The stationary distribution is CN(0,1) (Rayleigh envelope, unit mean
+/// power).
+class ArFadingBranch {
+ public:
+  ArFadingBranch(double rho, common::RngStream& rng);
+
+  /// Advances one grid step.
+  void step(common::RngStream& rng);
+
+  /// |h|^2 of the current state.
+  double power() const { return std::norm(h_); }
+
+  double rho() const { return rho_; }
+
+ private:
+  double rho_;
+  double innovation_scale_;
+  std::complex<double> h_;
+};
+
+/// Per-step correlation coefficient for a grid interval dt under coherence
+/// time Tc = 1/doppler: rho = exp(-dt * doppler). (An exponential
+/// correlation model; see DESIGN.md for why this is preferred over the
+/// oscillatory J0 form for the MAC-level simulation.)
+double ar_rho_for(common::Hertz doppler, common::Time dt);
+
+/// L independent AR(1) branches whose average power is the effective
+/// short-term power gain: marginal Gamma(L, 1/L), unit mean (Nakagami-L).
+class DiversityFadingProcess {
+ public:
+  DiversityFadingProcess(int branches, double rho, common::RngStream& rng);
+
+  void step(common::RngStream& rng);
+
+  /// Effective power gain (unit mean).
+  double power_gain() const;
+
+  int branches() const { return static_cast<int>(branches_.size()); }
+
+ private:
+  std::vector<ArFadingBranch> branches_;
+};
+
+}  // namespace charisma::channel

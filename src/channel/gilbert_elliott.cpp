@@ -1,0 +1,49 @@
+#include "channel/gilbert_elliott.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace charisma::channel {
+
+GilbertElliottChannel::GilbertElliottChannel(
+    const GilbertElliottConfig& config, common::RngStream rng)
+    : config_(config), rng_(std::move(rng)) {
+  if (config.good_error_rate < 0.0 || config.good_error_rate > 1.0 ||
+      config.bad_error_rate < 0.0 || config.bad_error_rate > 1.0) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: error rates must be probabilities");
+  }
+  if (config.mean_good_dwell <= 0.0 || config.mean_bad_dwell <= 0.0 ||
+      config.sample_interval <= 0.0) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: dwell/sample times must be positive");
+  }
+  // Geometric dwell times with exit probability dt/mean per step: dwell
+  // means come out exactly as configured and the stationary bad fraction
+  // is exactly mean_bad / (mean_good + mean_bad). Requires dt <= mean.
+  if (config.sample_interval > config.mean_good_dwell ||
+      config.sample_interval > config.mean_bad_dwell) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: sample_interval must not exceed the dwell "
+        "means");
+  }
+  stay_good_prob_ = 1.0 - config.sample_interval / config.mean_good_dwell;
+  stay_bad_prob_ = 1.0 - config.sample_interval / config.mean_bad_dwell;
+  // Start in the stationary mix.
+  bad_ = rng_.bernoulli(config.bad_state_fraction());
+}
+
+void GilbertElliottChannel::advance_to(common::Time t) {
+  const auto target_step = static_cast<std::int64_t>(
+      std::floor(t / config_.sample_interval + 1e-9));
+  if (target_step < current_step_) {
+    throw std::logic_error("GilbertElliottChannel: time went backwards");
+  }
+  while (current_step_ < target_step) {
+    const double stay = bad_ ? stay_bad_prob_ : stay_good_prob_;
+    if (!rng_.bernoulli(stay)) bad_ = !bad_;
+    ++current_step_;
+  }
+}
+
+}  // namespace charisma::channel

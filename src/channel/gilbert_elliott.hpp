@@ -1,0 +1,64 @@
+// Gilbert-Elliott two-state burst-error channel — the classic packet-level
+// abstraction ("a common simulation platform ... governed by the same
+// channel model with a certain bit error rate", paper §5.3.1). Provided as
+// an alternative substrate to the physical fading model: a Markov chain
+// toggles between a Good state (low error rate) and a Bad state (high
+// error rate), with dwell times chosen to mimic fade durations. Useful for
+// fast what-if studies and for validating that protocol rankings are not
+// artifacts of the detailed PHY model.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace charisma::channel {
+
+struct GilbertElliottConfig {
+  double good_error_rate = 1e-4;  ///< packet-error probability, Good state
+  double bad_error_rate = 0.5;    ///< packet-error probability, Bad state
+  common::Time mean_good_dwell = 0.1;   ///< mean time in Good, s
+  common::Time mean_bad_dwell = 0.01;   ///< mean time in Bad, s (fade-like)
+  common::Time sample_interval = 2.5e-3;
+
+  /// Long-run fraction of time in the Bad state.
+  double bad_state_fraction() const {
+    return mean_bad_dwell / (mean_good_dwell + mean_bad_dwell);
+  }
+  /// Long-run average packet-error rate.
+  double average_error_rate() const {
+    const double fb = bad_state_fraction();
+    return fb * bad_error_rate + (1.0 - fb) * good_error_rate;
+  }
+};
+
+class GilbertElliottChannel {
+ public:
+  GilbertElliottChannel(const GilbertElliottConfig& config,
+                        common::RngStream rng);
+
+  /// Advances the chain to (the grid point at or before) `t`;
+  /// non-decreasing across calls.
+  void advance_to(common::Time t);
+
+  bool in_bad_state() const { return bad_; }
+  double packet_error_rate() const {
+    return bad_ ? config_.bad_error_rate : config_.good_error_rate;
+  }
+
+  /// Draws one packet transmission at the current state.
+  bool transmit_packet(common::RngStream& rng) const {
+    return !rng.bernoulli(packet_error_rate());
+  }
+
+  const GilbertElliottConfig& config() const { return config_; }
+
+ private:
+  GilbertElliottConfig config_;
+  common::RngStream rng_;
+  bool bad_ = false;
+  double stay_good_prob_ = 1.0;  ///< per-step persistence, Good state
+  double stay_bad_prob_ = 1.0;   ///< per-step persistence, Bad state
+  std::int64_t current_step_ = 0;
+};
+
+}  // namespace charisma::channel

@@ -1,0 +1,33 @@
+#include "channel/shadowing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace charisma::channel {
+
+LogNormalShadowing::LogNormalShadowing(double sigma_db, common::Time tau,
+                                       common::Time dt,
+                                       common::RngStream& rng)
+    : sigma_db_(sigma_db) {
+  if (sigma_db < 0.0) {
+    throw std::invalid_argument("LogNormalShadowing: sigma_db must be >= 0");
+  }
+  if (tau <= 0.0 || dt <= 0.0) {
+    throw std::invalid_argument("LogNormalShadowing: tau and dt must be > 0");
+  }
+  rho_ = std::exp(-dt / tau);
+  innovation_sigma_ = sigma_db * std::sqrt(1.0 - rho_ * rho_);
+  value_db_ = rng.normal(0.0, sigma_db);  // stationary start
+}
+
+void LogNormalShadowing::step(common::RngStream& rng) {
+  value_db_ = rho_ * value_db_ + rng.normal(0.0, innovation_sigma_);
+}
+
+double LogNormalShadowing::linear_gain() const {
+  return common::from_db(value_db_);
+}
+
+}  // namespace charisma::channel

@@ -1,0 +1,36 @@
+// Long-term log-normal shadowing ("local mean" in the paper), modelled as a
+// first-order Gauss-Markov process in the dB domain with a ~1 s time
+// constant — terrain/obstacle effects fluctuating much slower than the
+// multipath fading.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace charisma::channel {
+
+class LogNormalShadowing {
+ public:
+  /// sigma_db: stationary standard deviation of the dB process.
+  /// tau: decorrelation time constant (autocorrelation exp(-dt/tau)).
+  /// dt: grid step at which step() will be called.
+  LogNormalShadowing(double sigma_db, common::Time tau, common::Time dt,
+                     common::RngStream& rng);
+
+  void step(common::RngStream& rng);
+
+  /// Current shadowing attenuation as a linear power factor (mean-1 in dB,
+  /// i.e. the dB process has zero mean).
+  double linear_gain() const;
+
+  double db_value() const { return value_db_; }
+  double sigma_db() const { return sigma_db_; }
+
+ private:
+  double sigma_db_;
+  double rho_;
+  double innovation_sigma_;
+  double value_db_;
+};
+
+}  // namespace charisma::channel

@@ -1,0 +1,57 @@
+// Umbrella header: the public API of the CHARISMA library.
+//
+//   #include "charisma.hpp"
+//
+//   charisma::mac::ScenarioParams params;
+//   params.num_voice_users = 80;
+//   auto engine = charisma::protocols::make_protocol(
+//       charisma::protocols::ProtocolId::kCharisma, params);
+//   const auto& metrics = engine->run(/*warmup=*/3.0, /*measure=*/15.0);
+//
+// See examples/quickstart.cpp for a tour.
+#pragma once
+
+#include "analysis/fading_statistics.hpp"
+#include "analysis/slotted_aloha.hpp"
+#include "analysis/voice_capacity.hpp"
+#include "channel/csi.hpp"
+#include "channel/fading.hpp"
+#include "channel/gilbert_elliott.hpp"
+#include "channel/shadowing.hpp"
+#include "channel/user_channel.hpp"
+#include "common/config.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/charisma.hpp"
+#include "core/fairness.hpp"
+#include "core/priority.hpp"
+#include "experiment/handoff_study.hpp"
+#include "experiment/parallel.hpp"
+#include "experiment/report.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/sweep.hpp"
+#include "mac/contention.hpp"
+#include "mac/engine.hpp"
+#include "mac/geometry.hpp"
+#include "mac/metrics.hpp"
+#include "mac/mobile_user.hpp"
+#include "mac/request_queue.hpp"
+#include "mac/reservation.hpp"
+#include "mac/scenario.hpp"
+#include "phy/adaptive_phy.hpp"
+#include "phy/fixed_phy.hpp"
+#include "phy/modes.hpp"
+#include "protocols/drma.hpp"
+#include "protocols/dtdma.hpp"
+#include "protocols/factory.hpp"
+#include "protocols/prma.hpp"
+#include "protocols/rama.hpp"
+#include "protocols/rmav.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/frame_clock.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/data_source.hpp"
+#include "traffic/voice_source.hpp"

@@ -1,0 +1,103 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace charisma::common {
+
+KeyValueConfig KeyValueConfig::from_args(const std::vector<std::string>& args) {
+  KeyValueConfig cfg;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("KeyValueConfig: expected key=value, got '" +
+                                  arg + "'");
+    }
+    cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void KeyValueConfig::set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+std::optional<std::string> KeyValueConfig::get_string(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> KeyValueConfig::get_double(const std::string& key) const {
+  auto s = get_string(key);
+  if (!s) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(*s, &pos);
+    if (pos != s->size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("KeyValueConfig: value for '" + key +
+                                "' is not a number: '" + *s + "'");
+  }
+}
+
+std::optional<int> KeyValueConfig::get_int(const std::string& key) const {
+  auto s = get_string(key);
+  if (!s) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(*s, &pos);
+    if (pos != s->size()) throw std::invalid_argument("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("KeyValueConfig: value for '" + key +
+                                "' is not an integer: '" + *s + "'");
+  }
+}
+
+std::optional<bool> KeyValueConfig::get_bool(const std::string& key) const {
+  auto s = get_string(key);
+  if (!s) return std::nullopt;
+  std::string lower = *s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") {
+    return false;
+  }
+  throw std::invalid_argument("KeyValueConfig: value for '" + key +
+                              "' is not a boolean: '" + *s + "'");
+}
+
+double KeyValueConfig::get_double_or(const std::string& key,
+                                     double fallback) const {
+  auto v = get_double(key);
+  return v ? *v : fallback;
+}
+
+int KeyValueConfig::get_int_or(const std::string& key, int fallback) const {
+  auto v = get_int(key);
+  return v ? *v : fallback;
+}
+
+bool KeyValueConfig::get_bool_or(const std::string& key, bool fallback) const {
+  auto v = get_bool(key);
+  return v ? *v : fallback;
+}
+
+std::string KeyValueConfig::get_string_or(const std::string& key,
+                                          const std::string& fallback) const {
+  auto v = get_string(key);
+  return v ? *v : fallback;
+}
+
+bool KeyValueConfig::contains(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+}  // namespace charisma::common

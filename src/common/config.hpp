@@ -1,0 +1,42 @@
+// A tiny typed key-value store used to override scenario parameters from
+// examples and benches ("key=value" strings or environment variables)
+// without pulling in a configuration-file dependency.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace charisma::common {
+
+class KeyValueConfig {
+ public:
+  KeyValueConfig() = default;
+
+  /// Parses "key=value" tokens; throws std::invalid_argument on malformed
+  /// input. Later duplicates win.
+  static KeyValueConfig from_args(const std::vector<std::string>& args);
+
+  void set(const std::string& key, const std::string& value);
+
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+  std::optional<int> get_int(const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& key) const;
+
+  double get_double_or(const std::string& key, double fallback) const;
+  int get_int_or(const std::string& key, int fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+  std::string get_string_or(const std::string& key,
+                            const std::string& fallback) const;
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return entries_.size(); }
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace charisma::common

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Off by default so benchmark loops stay clean;
+// tests and examples can raise the level for tracing protocol decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace charisma::common {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Global level; reads/writes are relaxed-atomic underneath.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// True when the given level would currently be emitted.
+bool log_enabled(LogLevel level);
+
+/// Emits a single line ("[LEVEL] message") to stderr. Thread-safe line-wise.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { log_line(level_, os_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace charisma::common
+
+#define CHARISMA_LOG(level)                                       \
+  if (!::charisma::common::log_enabled(level)) {                  \
+  } else                                                          \
+    ::charisma::common::detail::LineBuilder(level)

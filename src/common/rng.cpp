@@ -1,0 +1,76 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace charisma::common {
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  // splitmix64 finalizer over a mixed input; distinct (root, stream) pairs
+  // map to well-decorrelated outputs.
+  std::uint64_t z = root + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double RngStream::uniform() {
+  // 53-bit mantissa-exact uniform in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+int RngStream::uniform_int(int n) {
+  if (n <= 0) throw std::domain_error("uniform_int: n must be positive");
+  std::uniform_int_distribution<int> dist(0, n - 1);
+  return dist(engine_);
+}
+
+bool RngStream::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double RngStream::exponential(double mean) {
+  if (mean <= 0.0) throw std::domain_error("exponential: mean must be positive");
+  double u = uniform();
+  // Guard the log against u == 0.
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double RngStream::normal() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double RngStream::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double RngStream::rayleigh_amplitude(double mean_square) {
+  if (mean_square <= 0.0) {
+    throw std::domain_error("rayleigh_amplitude: mean_square must be positive");
+  }
+  // If X = sqrt(-mean_square * ln U) then E[X^2] = mean_square.
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return std::sqrt(-mean_square * std::log(u));
+}
+
+double RngStream::lognormal_db(double mean_db, double sigma_db) {
+  return std::pow(10.0, normal(mean_db, sigma_db) / 10.0);
+}
+
+int RngStream::poisson(double mean) {
+  if (mean < 0.0) throw std::domain_error("poisson: mean must be >= 0");
+  if (mean == 0.0) return 0;
+  std::poisson_distribution<int> dist(mean);
+  return dist(engine_);
+}
+
+}  // namespace charisma::common

@@ -1,0 +1,67 @@
+// Deterministic random-number streams.
+//
+// Every stochastic entity in the simulator (each user's channel, each
+// traffic source, each contention draw) owns its own RngStream derived from
+// a root seed, so (a) runs are bit-reproducible given a scenario seed and
+// (b) adding users or reordering events does not perturb other entities'
+// draws — the property the paper's "common simulation platform" needs for a
+// fair cross-protocol comparison.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace charisma::common {
+
+/// Derives well-separated 64-bit seeds from (root, stream-id) pairs using
+/// the splitmix64 finalizer. Stateless; safe to call from any thread.
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream);
+
+/// A self-contained random stream with the distribution draws the models
+/// need. Wraps std::mt19937_64; not thread-safe (each thread/entity owns
+/// its own stream).
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+  RngStream(std::uint64_t root, std::uint64_t stream)
+      : engine_(derive_seed(root, stream)) {}
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  int uniform_int(int n);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal draw.
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Rayleigh *amplitude* with E[X^2] = mean_square.
+  double rayleigh_amplitude(double mean_square);
+
+  /// Log-normal where the underlying normal is specified in dB:
+  /// returns 10^(N(mean_db, sigma_db)/10).
+  double lognormal_db(double mean_db, double sigma_db);
+
+  /// Poisson with the given mean (>= 0).
+  int poisson(double mean);
+
+  /// Direct access for use with std:: distributions in tests.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace charisma::common

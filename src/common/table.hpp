@@ -1,0 +1,38 @@
+// Plain-text table and CSV emitters for the benchmark harnesses. Each
+// figure/table bench prints the same rows/series the paper reports through
+// these helpers, so the output stays uniform across benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace charisma::common {
+
+/// Column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double v, int precision = 4);
+  /// Scientific notation, for loss probabilities spanning decades.
+  static std::string sci(double v, int precision = 3);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Writes the header+rows as CSV (no title) to the given path.
+  /// Returns false if the file could not be opened.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace charisma::common

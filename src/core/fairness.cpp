@@ -1,0 +1,38 @@
+#include "core/fairness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace charisma::core {
+
+FairnessTracker::FairnessTracker(double smoothing) : smoothing_(smoothing) {
+  if (smoothing <= 0.0 || smoothing > 1.0) {
+    throw std::invalid_argument("FairnessTracker: smoothing must be in (0,1]");
+  }
+}
+
+void FairnessTracker::observe(common::UserId user, double throughput) {
+  auto [it, inserted] = ewma_.try_emplace(user, throughput);
+  if (!inserted) {
+    it->second += smoothing_ * (throughput - it->second);
+  }
+}
+
+double FairnessTracker::average(common::UserId user) const {
+  auto it = ewma_.find(user);
+  return it == ewma_.end() ? 0.0 : it->second;
+}
+
+double FairnessTracker::adjusted_throughput(common::UserId user,
+                                            double throughput,
+                                            FairnessMode mode) const {
+  if (mode == FairnessMode::kNone) return throughput;
+  const double avg = average(user);
+  if (avg <= 1e-9) return throughput;
+  // Scale the relative figure back into the absolute range so the urgency
+  // and offset terms keep their calibrated proportions: a user at exactly
+  // their personal average scores like a mid-ladder (2.5 bit/sym) user.
+  return 2.5 * throughput / avg;
+}
+
+}  // namespace charisma::core

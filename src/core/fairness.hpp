@@ -1,0 +1,43 @@
+// Channel-capacity-fair priority adjustment — the first future-work avenue
+// of the paper (§6, after Wang/Kwok/Lau [22]): a raw CSI-ranked scheduler
+// starves users whose *average* channel is poor (cell-edge, shadowed). The
+// capacity-fair variant ranks users by their throughput relative to their
+// own long-run average, so everyone is served during their personal
+// "good" periods.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/units.hpp"
+
+namespace charisma::core {
+
+enum class FairnessMode {
+  kNone,                 ///< paper's Eq. (2): absolute throughput
+  kCapacityNormalized,   ///< f(CSI) / EWMA of the user's own f(CSI)
+};
+
+class FairnessTracker {
+ public:
+  /// `smoothing` is the EWMA weight of the newest sample (0, 1].
+  explicit FairnessTracker(double smoothing = 0.02);
+
+  /// Records the user's current attainable throughput (call every frame the
+  /// user is visible to the scheduler).
+  void observe(common::UserId user, double throughput);
+
+  /// The throughput figure the priority metric should use.
+  double adjusted_throughput(common::UserId user, double throughput,
+                             FairnessMode mode) const;
+
+  /// The user's tracked average (0 before any observation).
+  double average(common::UserId user) const;
+
+  void reset() { ewma_.clear(); }
+
+ private:
+  double smoothing_;
+  std::unordered_map<common::UserId, double> ewma_;
+};
+
+}  // namespace charisma::core

@@ -1,0 +1,28 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace charisma::core {
+
+int frames_to_deadline(common::Time deadline, common::Time now,
+                       common::Time frame_duration) {
+  const double remaining = (deadline - now) / frame_duration;
+  return std::max(1, static_cast<int>(std::ceil(remaining - 1e-9)));
+}
+
+double request_priority(const mac::PendingRequest& request,
+                        double throughput_estimate, common::Time now,
+                        common::Time frame_duration,
+                        const PriorityWeights& weights) {
+  if (request.type == mac::RequestType::kVoice) {
+    const int t_d = frames_to_deadline(request.deadline, now, frame_duration);
+    return weights.alpha_voice * throughput_estimate +
+           weights.gamma_voice / static_cast<double>(t_d) +
+           weights.voice_offset;
+  }
+  return weights.alpha_data * throughput_estimate +
+         weights.gamma_data * static_cast<double>(request.frames_waited);
+}
+
+}  // namespace charisma::core

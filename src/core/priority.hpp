@@ -1,0 +1,45 @@
+// The CHARISMA priority metric — Eq. (2) of the paper.
+//
+// The scanned equation is typographically corrupted, but the prose pins the
+// semantics down: priority must rise with (i) the throughput the user's
+// channel currently supports f(CSI), (ii) deadline urgency for voice /
+// waiting time for data, and (iii) a constant offset V giving voice its
+// higher service class. We realize those monotonicities as
+//
+//   voice:  beta = alpha_v * f(CSI)  +  gamma_v / max(T_d, 1)  +  V
+//   data:   beta = alpha_d * f(CSI)  +  gamma_d * T_w
+//
+// with f(CSI) the normalized throughput (bit/symbol) of the mode the base
+// station would grant (0 in outage), T_d the frames remaining to the voice
+// packet's deadline and T_w the frames a data request has waited since its
+// ACK. The alpha/gamma/V weights "reflect the relative importance of the
+// traffic factors: urgency, channel condition, and traffic type" (§4.3)
+// and are swept by bench_ablation_priority.
+#pragma once
+
+#include "common/units.hpp"
+#include "mac/request_queue.hpp"
+
+namespace charisma::core {
+
+struct PriorityWeights {
+  double alpha_voice = 1.0;  ///< CSI-throughput weight, voice
+  double alpha_data = 1.0;   ///< CSI-throughput weight, data
+  double gamma_voice = 4.0;  ///< urgency weight (scales 1/T_d)
+  double gamma_data = 0.02;  ///< waiting-time weight (scales T_w)
+  double voice_offset = 8.0; ///< V: service-class offset for voice
+};
+
+/// Frames remaining until `deadline` as seen at `now` (>= 1; the request is
+/// purged before it reaches 0).
+int frames_to_deadline(common::Time deadline, common::Time now,
+                       common::Time frame_duration);
+
+/// The priority beta_i of one request. `throughput_estimate` is f(CSI_i) in
+/// bits/symbol (already fairness-adjusted if that extension is active).
+double request_priority(const mac::PendingRequest& request,
+                        double throughput_estimate, common::Time now,
+                        common::Time frame_duration,
+                        const PriorityWeights& weights);
+
+}  // namespace charisma::core

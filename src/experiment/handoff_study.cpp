@@ -1,0 +1,85 @@
+#include "experiment/handoff_study.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/stats.hpp"
+
+namespace charisma::experiment {
+
+HandoffResult run_handoff_study(const HandoffConfig& config,
+                                AttachmentPolicy policy,
+                                common::Time duration, std::uint64_t seed) {
+  if (config.num_stations < 1 || duration <= 0.0) {
+    throw std::invalid_argument("run_handoff_study: invalid configuration");
+  }
+  std::vector<double> offsets = config.station_offset_db;
+  if (offsets.empty()) offsets.assign(static_cast<std::size_t>(config.num_stations), 0.0);
+  if (offsets.size() != static_cast<std::size_t>(config.num_stations)) {
+    throw std::invalid_argument("run_handoff_study: offset list size mismatch");
+  }
+
+  // One independent link per station.
+  std::vector<std::unique_ptr<channel::UserChannel>> links;
+  for (int s = 0; s < config.num_stations; ++s) {
+    channel::ChannelConfig cfg = config.channel;
+    cfg.mean_snr_db += offsets[static_cast<std::size_t>(s)];
+    cfg.sample_interval = config.sample_interval;
+    links.push_back(std::make_unique<channel::UserChannel>(
+        cfg, common::RngStream(seed, 0x7000u + static_cast<std::uint64_t>(s))));
+  }
+
+  const double alpha =
+      1.0 - std::exp(-config.sample_interval / config.pilot_filter_tau);
+  std::vector<double> pilot_db(links.size());
+  int attached = 0;
+  long handoffs = 0;
+  common::Accumulator snr_db_acc;
+  long outage_steps = 0;
+  long steps = 0;
+
+  const auto total_steps =
+      static_cast<long>(std::floor(duration / config.sample_interval));
+  for (long step = 1; step <= total_steps; ++step) {
+    const common::Time t =
+        static_cast<double>(step) * config.sample_interval;
+    for (std::size_t s = 0; s < links.size(); ++s) {
+      links[s]->advance_to(t);
+      const double inst_db = links[s]->snr_db();
+      pilot_db[s] = step == 1 ? inst_db
+                              : pilot_db[s] + alpha * (inst_db - pilot_db[s]);
+    }
+    if (policy == AttachmentPolicy::kStrongestPilot) {
+      int best = attached;
+      for (std::size_t s = 0; s < links.size(); ++s) {
+        if (pilot_db[s] >
+            pilot_db[static_cast<std::size_t>(best)] +
+                (static_cast<int>(s) == attached ? 0.0 : config.hysteresis_db)) {
+          best = static_cast<int>(s);
+        }
+      }
+      if (best != attached) {
+        attached = best;
+        ++handoffs;
+      }
+    }
+    const double snr_db = links[static_cast<std::size_t>(attached)]->snr_db();
+    snr_db_acc.add(snr_db);
+    if (snr_db < config.outage_threshold_db) ++outage_steps;
+    ++steps;
+  }
+
+  HandoffResult result;
+  result.mean_snr_db = snr_db_acc.mean();
+  result.outage_fraction =
+      steps > 0 ? static_cast<double>(outage_steps) / static_cast<double>(steps)
+                : 0.0;
+  result.handoffs_per_second =
+      duration > 0.0 ? static_cast<double>(handoffs) / duration : 0.0;
+  return result;
+}
+
+}  // namespace charisma::experiment

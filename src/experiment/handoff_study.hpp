@@ -1,0 +1,51 @@
+// Multi-base-station handoff scaffold — the paper's second future-work
+// avenue (§6): "when a nomadic user travels into the range of some other
+// base stations, to which new base station should the user attach, from a
+// channel quality point of view?"
+//
+// The study models a user hearing several base stations through independent
+// shadowing/fading processes and compares attachment policies:
+//   * kStrongestPilot — re-attach whenever another station's filtered pilot
+//     beats the current one by `hysteresis_db` (channel-quality handoff).
+//   * kNearest — static attachment (distance proxy: station 0), the
+//     no-handoff baseline.
+// It reports the achieved mean SNR, outage fraction (below the ABICM mode-1
+// threshold) and handoff rate — the quantities a CHARISMA-aware handoff
+// decision would trade off.
+#pragma once
+
+#include <vector>
+
+#include "channel/user_channel.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace charisma::experiment {
+
+enum class AttachmentPolicy { kNearest, kStrongestPilot };
+
+struct HandoffConfig {
+  int num_stations = 2;
+  channel::ChannelConfig channel{};
+  /// Per-station mean-SNR offsets (dB), e.g. {0, -3} for an asymmetric
+  /// overlap region. Size must equal num_stations (empty = all 0).
+  std::vector<double> station_offset_db{};
+  double hysteresis_db = 3.0;
+  /// Pilot filtering time constant (s) — avoids ping-pong handoffs.
+  common::Time pilot_filter_tau = 0.2;
+  common::Time sample_interval = 2.5e-3;
+  double outage_threshold_db = 5.0;  ///< ABICM mode-1 threshold
+};
+
+struct HandoffResult {
+  double mean_snr_db = 0.0;
+  double outage_fraction = 0.0;
+  double handoffs_per_second = 0.0;
+};
+
+/// Simulates one user for `duration` seconds under the given policy.
+HandoffResult run_handoff_study(const HandoffConfig& config,
+                                AttachmentPolicy policy,
+                                common::Time duration, std::uint64_t seed);
+
+}  // namespace charisma::experiment

@@ -1,0 +1,46 @@
+#include "experiment/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace charisma::experiment {
+
+ParallelRunner::ParallelRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+void ParallelRunner::run(const std::vector<std::function<void()>>& jobs) const {
+  if (jobs.empty()) return;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        jobs[i]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const unsigned n = std::min<unsigned>(
+      threads_, static_cast<unsigned>(jobs.size()));
+  std::vector<std::jthread> pool;
+  pool.reserve(n > 1 ? n - 1 : 0);
+  for (unsigned t = 1; t < n; ++t) pool.emplace_back(worker);
+  worker();  // this thread participates
+  pool.clear();  // join
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace charisma::experiment

@@ -1,0 +1,28 @@
+// A small work-stealing-free thread pool for embarrassingly parallel
+// simulation jobs (independent replications / sweep points). Each job owns
+// its entire world (engine, RNG streams), so jobs share nothing and the
+// pool needs no synchronization beyond the work index.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace charisma::experiment {
+
+class ParallelRunner {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ParallelRunner(unsigned threads = 0);
+
+  unsigned thread_count() const { return threads_; }
+
+  /// Executes every job; blocks until all complete. The first exception
+  /// thrown by any job is rethrown here (remaining jobs still run to
+  /// completion so partially written results stay consistent).
+  void run(const std::vector<std::function<void()>>& jobs) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace charisma::experiment

@@ -1,0 +1,100 @@
+#include "experiment/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace charisma::experiment {
+
+common::TextTable figure_table(
+    const std::string& title, const std::string& x_label,
+    const std::vector<SweepCell>& cells,
+    const std::vector<protocols::ProtocolId>& protocols_order,
+    const MetricSelector& metric,
+    const std::function<std::string(double)>& formatter) {
+  common::TextTable table(title);
+  std::vector<std::string> header{x_label};
+  for (auto p : protocols_order) header.push_back(protocols::protocol_name(p));
+  table.set_header(std::move(header));
+
+  std::set<int> xs;
+  std::map<std::pair<int, int>, double> values;
+  for (const auto& cell : cells) {
+    xs.insert(cell.x);
+    values[{cell.x, static_cast<int>(cell.protocol)}] = metric(cell.result);
+  }
+  for (int x : xs) {
+    std::vector<std::string> row{std::to_string(x)};
+    for (auto p : protocols_order) {
+      auto it = values.find({x, static_cast<int>(p)});
+      row.push_back(it != values.end() ? formatter(it->second) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::optional<double> capacity_at_threshold(
+    const std::vector<std::pair<int, double>>& series, double threshold) {
+  if (series.empty()) return std::nullopt;
+  auto sorted = series;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Loss-versus-load is monotone in expectation but the measured points
+  // are noisy — especially for protocols sitting flat on an error floor
+  // near the threshold, where raw interpolation would read capacity off a
+  // single noise spike. Fit the best non-decreasing curve first (isotonic
+  // regression via pool-adjacent-violators), then interpolate.
+  std::vector<double> level;
+  std::vector<double> weight;
+  for (const auto& [x, y] : sorted) {
+    level.push_back(y);
+    weight.push_back(1.0);
+    while (level.size() > 1 && level[level.size() - 2] > level.back()) {
+      const double w = weight[weight.size() - 2] + weight.back();
+      const double v = (level[level.size() - 2] * weight[weight.size() - 2] +
+                        level.back() * weight.back()) /
+                       w;
+      level.pop_back();
+      weight.pop_back();
+      level.back() = v;
+      weight.back() = w;
+    }
+  }
+  std::vector<double> fitted;
+  for (std::size_t block = 0; block < level.size(); ++block) {
+    for (int i = 0; i < static_cast<int>(weight[block] + 0.5); ++i) {
+      fitted.push_back(level[block]);
+    }
+  }
+
+  if (fitted.front() > threshold) return std::nullopt;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (fitted[i] > threshold) {
+      const double y0 = fitted[i - 1];
+      const double y1 = fitted[i];
+      const double t = y1 > y0 ? (threshold - y0) / (y1 - y0) : 1.0;
+      return static_cast<double>(sorted[i - 1].first) +
+             t * static_cast<double>(sorted[i].first - sorted[i - 1].first);
+    }
+  }
+  return static_cast<double>(sorted.back().first);
+}
+
+common::TextTable capacity_table(
+    const std::string& title, const std::vector<SweepCell>& cells,
+    const std::vector<protocols::ProtocolId>& protocols_order,
+    const MetricSelector& metric, double threshold,
+    const std::string& threshold_label) {
+  common::TextTable table(title);
+  table.set_header({"protocol", "capacity @ " + threshold_label});
+  for (auto p : protocols_order) {
+    auto series = series_of(cells, p, metric);
+    const auto cap = capacity_at_threshold(series, threshold);
+    table.add_row({protocols::protocol_name(p),
+                   cap ? common::TextTable::num(*cap, 1) : "< min swept"});
+  }
+  return table;
+}
+
+}  // namespace charisma::experiment

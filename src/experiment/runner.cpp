@@ -1,0 +1,47 @@
+#include "experiment/runner.hpp"
+
+#include "common/rng.hpp"
+
+namespace charisma::experiment {
+
+void ReplicatedResult::add(const mac::ProtocolMetrics& metrics) {
+  ++replications;
+  voice_loss.add(metrics.voice_loss_rate());
+  voice_drop.add(metrics.voice_drop_rate());
+  voice_error.add(metrics.voice_error_rate());
+  data_throughput.add(metrics.data_throughput_per_frame());
+  data_delay_s.add(metrics.mean_data_delay_s());
+  slot_utilization.add(metrics.slot_utilization());
+  slot_waste.add(metrics.slot_waste_ratio());
+  request_success.add(metrics.request_success_ratio());
+  voice_loss_pooled.add_many(
+      metrics.voice_dropped_deadline + metrics.voice_error_lost,
+      metrics.voice_generated);
+}
+
+std::uint64_t replication_seed(std::uint64_t base_seed,
+                               std::uint64_t point_key, int rep) {
+  return common::derive_seed(base_seed,
+                             point_key * 1024 + static_cast<std::uint64_t>(rep));
+}
+
+ReplicatedResult run_replications(protocols::ProtocolId protocol,
+                                  const RunSpec& spec,
+                                  std::uint64_t point_key) {
+  ReplicatedResult result;
+  result.protocol = protocols::protocol_name(protocol);
+  result.num_voice_users = spec.params.num_voice_users;
+  result.num_data_users = spec.params.num_data_users;
+  result.request_queue = spec.params.request_queue;
+
+  for (int rep = 0; rep < spec.replications; ++rep) {
+    mac::ScenarioParams params = spec.params;
+    params.seed = replication_seed(spec.params.seed, point_key, rep);
+    auto engine = protocols::make_protocol(protocol, params, spec.charisma);
+    const auto& metrics = engine->run(spec.warmup_s, spec.measure_s);
+    result.add(metrics);
+  }
+  return result;
+}
+
+}  // namespace charisma::experiment

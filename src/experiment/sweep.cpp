@@ -1,0 +1,44 @@
+#include "experiment/sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace charisma::experiment {
+
+std::vector<SweepCell> run_sweep(const SweepConfig& config,
+                                 const ParallelRunner& runner) {
+  if (config.x_values.empty() || config.protocols_to_run.empty()) {
+    throw std::invalid_argument("run_sweep: empty grid");
+  }
+  std::vector<SweepCell> cells(config.x_values.size() *
+                               config.protocols_to_run.size());
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(cells.size());
+
+  std::size_t cell_index = 0;
+  for (std::size_t xi = 0; xi < config.x_values.size(); ++xi) {
+    for (std::size_t pi = 0; pi < config.protocols_to_run.size(); ++pi) {
+      const int x = config.x_values[xi];
+      const auto protocol = config.protocols_to_run[pi];
+      SweepCell& cell = cells[cell_index++];
+      cell.x = x;
+      cell.protocol = protocol;
+      jobs.push_back([&cell, &config, x, protocol, xi] {
+        RunSpec spec = config.spec;
+        if (config.axis == SweepAxis::kVoiceUsers) {
+          spec.params.num_voice_users = x;
+        } else {
+          spec.params.num_data_users = x;
+        }
+        // The point key depends only on the x index, so all protocols at a
+        // point share seeds (common random numbers).
+        cell.result = run_replications(protocol, spec,
+                                       static_cast<std::uint64_t>(xi));
+      });
+    }
+  }
+  runner.run(jobs);
+  return cells;
+}
+
+}  // namespace charisma::experiment

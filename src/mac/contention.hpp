@@ -1,0 +1,45 @@
+// Slotted request contention (paper §2, "Request Contention Model"):
+// in each request minislot every still-unserved contender transmits with
+// its class's permission probability; the minislot succeeds iff exactly one
+// device transmitted (no capture effect). The base station acknowledges the
+// winner immediately on the downlink, so winners stop contending within the
+// same request phase.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace charisma::mac {
+
+struct ContentionTally {
+  int minislots = 0;
+  int successes = 0;
+  int collisions = 0;
+  int idle = 0;
+  /// Total request transmissions across all minislots (energy accounting).
+  int transmissions = 0;
+};
+
+struct ContentionOutcome {
+  /// Winning user ids in minislot order.
+  std::vector<common::UserId> winners;
+  /// Users that transmitted a request in at least one minislot (winners
+  /// included). Losers among these experienced a collision, which drives
+  /// the backoff stabilization.
+  std::vector<common::UserId> transmitted;
+  ContentionTally tally;
+};
+
+/// Runs `minislots` request slots over `candidates`. `permission(id)` gives
+/// each user's permission probability; `rng_of(id)` must return that user's
+/// private stream (keeps runs reproducible regardless of candidate-set
+/// composition). Winners are removed from contention as they succeed.
+ContentionOutcome run_request_phase(
+    const std::vector<common::UserId>& candidates, int minislots,
+    const std::function<double(common::UserId)>& permission,
+    const std::function<common::RngStream&(common::UserId)>& rng_of);
+
+}  // namespace charisma::mac

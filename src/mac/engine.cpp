@@ -1,0 +1,293 @@
+#include "mac/engine.hpp"
+
+#include <stdexcept>
+
+namespace charisma::mac {
+
+namespace {
+constexpr std::uint64_t kBaseStationStream = 0x4000'0000ULL;
+}
+
+ProtocolEngine::ProtocolEngine(const ScenarioParams& params)
+    : params_(params),
+      geom_(params.geometry),
+      fixed_phy_(params.fixed_phy_reference_db, params.phy.target_ber,
+                 params.geometry.packet_bits),
+      adaptive_phy_(phy::ModeTable::abicm6(params.phy.target_ber),
+                    [&params] {
+                      phy::PhyConfig cfg = params.phy;
+                      cfg.slot_symbols = params.geometry.slot_symbols;
+                      cfg.packet_bits = params.geometry.packet_bits;
+                      return cfg;
+                    }()),
+      csi_estimator_(params.csi_error_sigma_db,
+                     params.csi_validity_frames *
+                         params.geometry.frame_duration),
+      bs_rng_(params.seed, kBaseStationStream) {
+  if (!params.valid()) {
+    throw std::invalid_argument("ProtocolEngine: invalid scenario parameters");
+  }
+  // The channel grid step must match the frame cadence so per-frame draws
+  // line up with the coherence model.
+  params_.channel.sample_interval = geom_.frame_duration;
+  users_.reserve(static_cast<std::size_t>(params.total_users()));
+  for (int i = 0; i < params.num_voice_users; ++i) {
+    users_.emplace_back(static_cast<common::UserId>(i), ServiceType::kVoice,
+                        params_);
+  }
+  for (int i = 0; i < params.num_data_users; ++i) {
+    users_.emplace_back(
+        static_cast<common::UserId>(params.num_voice_users + i),
+        ServiceType::kData, params_);
+  }
+}
+
+MobileUser& ProtocolEngine::user(common::UserId id) {
+  if (id < 0 || id >= static_cast<common::UserId>(users_.size())) {
+    throw std::out_of_range("ProtocolEngine::user: bad id");
+  }
+  return users_[static_cast<std::size_t>(id)];
+}
+
+const ProtocolMetrics& ProtocolEngine::run(common::Time warmup,
+                                           common::Time measure) {
+  if (warmup < 0.0 || measure <= 0.0) {
+    throw std::invalid_argument("ProtocolEngine::run: invalid durations");
+  }
+  if (!started_) {
+    started_ = true;
+    sim_.schedule_at(0.0, [this] { frame_event(); });
+  }
+  sim_.run_until(warmup);
+  metrics_.reset();
+  sim_.run_until(warmup + measure);
+  return metrics_;
+}
+
+void ProtocolEngine::frame_event() {
+  advance_world();
+  const common::Time duration = process_frame();
+  if (duration <= 0.0) {
+    throw std::logic_error("process_frame returned non-positive duration");
+  }
+  ++frame_index_;
+  ++metrics_.frames;
+  metrics_.measured_time += duration;
+  sim_.schedule_in(duration, [this] { frame_event(); });
+}
+
+void ProtocolEngine::advance_world() {
+  const common::Time t = sim_.now();
+  for (auto& u : users_) {
+    u.channel().advance_to(t);
+    if (u.is_voice()) {
+      const auto update = u.voice().on_frame(t);
+      metrics_.voice_generated += update.packets_generated;
+      metrics_.voice_dropped_deadline += update.packets_expired;
+    } else {
+      const auto update = u.data().on_frame(t);
+      metrics_.data_generated += update.packets_arrived;
+    }
+  }
+}
+
+double ProtocolEngine::permission_prob(const MobileUser& u) const {
+  return u.is_voice() ? params_.voice_permission_prob
+                      : params_.data_permission_prob;
+}
+
+ContentionOutcome ProtocolEngine::run_contention(
+    const std::vector<common::UserId>& candidates, int minislots,
+    int symbols_per_request) {
+  auto outcome = run_request_phase(
+      candidates, minislots,
+      [this](common::UserId id) {
+        const auto& u = user(id);
+        return permission_prob(u) * u.backoff_scale();
+      },
+      [this](common::UserId id) -> common::RngStream& {
+        return user(id).rng();
+      });
+  note_contention(outcome.tally);
+
+  // Downlink ACK loss: the base station acknowledged, but the device never
+  // heard it — it will time out and retry, and the base station's copy of
+  // the request is dropped (it would be superseded by the retry anyway).
+  if (params_.ack_loss_prob > 0.0) {
+    std::erase_if(outcome.winners, [this](common::UserId) {
+      if (bs_rng_.bernoulli(params_.ack_loss_prob)) {
+        ++metrics_.acks_lost;
+        return true;
+      }
+      return false;
+    });
+  }
+
+  for (common::UserId id : outcome.transmitted) {
+    user(id).note_contention_collision();
+  }
+  for (common::UserId id : outcome.winners) {
+    user(id).note_contention_success();
+  }
+
+  const double symbols = symbols_per_request > 0
+                             ? symbols_per_request
+                             : geom_.minislot_symbols;
+  note_request_energy(outcome.tally.transmissions, symbols,
+                      static_cast<int>(outcome.winners.size()));
+  return outcome;
+}
+
+double ProtocolEngine::burst_energy(double symbols) const {
+  return params_.energy.burst_energy_j(symbols, geom_.symbol_rate());
+}
+
+void ProtocolEngine::note_request_energy(int bursts, double symbols_each,
+                                         int useful) {
+  const double total = bursts * burst_energy(symbols_each);
+  metrics_.energy_request_j += total;
+  const int wasted_bursts = std::max(0, bursts - useful);
+  metrics_.energy_wasted_j += wasted_bursts * burst_energy(symbols_each);
+}
+
+void ProtocolEngine::note_pilot_energy() {
+  metrics_.energy_pilot_j += burst_energy(geom_.minislot_symbols);
+}
+
+channel::CsiEstimate ProtocolEngine::estimate_csi(MobileUser& u) {
+  return csi_estimator_.estimate(u.channel().snr_linear(), sim_.now(),
+                                 u.rng());
+}
+
+std::optional<int> ProtocolEngine::fresh_mode_estimate(MobileUser& u) {
+  return adaptive_phy_.select_mode(estimate_csi(u).snr_linear);
+}
+
+void ProtocolEngine::transmit_voice_fixed(MobileUser& u) {
+  note_assigned_slot();
+  auto& src = u.voice();
+  if (!src.has_packet()) {
+    note_wasted_slot();
+    return;  // device stays silent: no energy spent
+  }
+  const bool ok = fixed_phy_.transmit_packet(u.channel().snr_linear(), u.rng());
+  src.consume_packet();
+  const double energy = burst_energy(geom_.slot_symbols);
+  metrics_.energy_info_j += energy;
+  if (ok) {
+    ++metrics_.voice_delivered;
+    note_user_delivery(u.id(), 1);
+  } else {
+    ++metrics_.voice_error_lost;
+    metrics_.energy_wasted_j += energy;  // the paper's motivation 2
+  }
+}
+
+void ProtocolEngine::transmit_voice_adaptive(MobileUser& u, int mode) {
+  note_assigned_slot();
+  auto& src = u.voice();
+  if (!src.has_packet()) {
+    note_wasted_slot();
+    return;
+  }
+  if (adaptive_phy_.packets_per_slot(mode) < 1) {
+    // Mode too low to carry a whole packet: the allocation is wasted and
+    // the packet stays pending (it may still make a later frame before its
+    // deadline). The adaptive transmitter stays silent — its energy
+    // advantage over the blind fixed PHY.
+    note_wasted_slot();
+    return;
+  }
+  const bool ok =
+      adaptive_phy_.transmit_packet(mode, u.channel().snr_linear(), u.rng());
+  src.consume_packet();
+  const double energy = burst_energy(geom_.slot_symbols);
+  metrics_.energy_info_j += energy;
+  if (ok) {
+    ++metrics_.voice_delivered;
+    note_user_delivery(u.id(), 1);
+  } else {
+    ++metrics_.voice_error_lost;
+    metrics_.energy_wasted_j += energy;
+  }
+}
+
+int ProtocolEngine::transmit_data_fixed(MobileUser& u) {
+  note_assigned_slot();
+  auto& src = u.data();
+  if (src.empty()) {
+    note_wasted_slot();
+    return 0;
+  }
+  const common::Time arrival = src.head_arrival();
+  src.pop_head();
+  ++metrics_.data_tx_attempts;
+  const double energy = burst_energy(geom_.slot_symbols);
+  metrics_.energy_info_j += energy;
+  if (fixed_phy_.transmit_packet(u.channel().snr_linear(), u.rng())) {
+    ++metrics_.data_delivered;
+    metrics_.data_delay_s.add(sim_.now() - arrival);
+    note_user_delivery(u.id(), 1);
+    return 1;
+  }
+  ++metrics_.data_retransmissions;
+  metrics_.energy_wasted_j += energy;
+  src.push_front({arrival});
+  return 0;
+}
+
+int ProtocolEngine::transmit_data_adaptive(MobileUser& u, int mode,
+                                           int max_packets) {
+  note_assigned_slot();
+  auto& src = u.data();
+  const int cap = std::min(adaptive_phy_.packets_per_slot(mode), max_packets);
+  if (cap < 1 || src.empty()) {
+    note_wasted_slot();
+    return 0;
+  }
+  const double snr = u.channel().snr_linear();
+  const common::Time t = sim_.now();
+  const int to_send = std::min(cap, src.backlog());
+  int delivered = 0;
+  std::vector<common::Time> failed;
+  for (int i = 0; i < to_send; ++i) {
+    const common::Time arrival = src.head_arrival();
+    src.pop_head();
+    ++metrics_.data_tx_attempts;
+    if (adaptive_phy_.transmit_packet(mode, snr, u.rng())) {
+      ++metrics_.data_delivered;
+      metrics_.data_delay_s.add(t - arrival);
+      ++delivered;
+    } else {
+      ++metrics_.data_retransmissions;
+      failed.push_back(arrival);
+    }
+  }
+  src.push_front(failed);
+  if (delivered > 0) note_user_delivery(u.id(), delivered);
+  // One slot burst regardless of fill; the corrupted fraction is waste.
+  const double energy = burst_energy(geom_.slot_symbols);
+  metrics_.energy_info_j += energy;
+  if (to_send > 0 && delivered < to_send) {
+    metrics_.energy_wasted_j +=
+        energy * static_cast<double>(to_send - delivered) /
+        static_cast<double>(to_send);
+  }
+  return delivered;
+}
+
+void ProtocolEngine::note_contention(const ContentionTally& tally) {
+  metrics_.request_slots += tally.minislots;
+  metrics_.request_successes += tally.successes;
+  metrics_.request_collisions += tally.collisions;
+  metrics_.request_idle += tally.idle;
+}
+
+void ProtocolEngine::note_user_delivery(common::UserId id, int packets) {
+  auto& ledger = metrics_.per_user_delivered;
+  if (ledger.size() < users_.size()) ledger.resize(users_.size(), 0);
+  ledger[static_cast<std::size_t>(id)] += packets;
+}
+
+
+}  // namespace charisma::mac

@@ -1,0 +1,135 @@
+// ProtocolEngine: the "common simulation platform" (paper §5) every
+// protocol runs on. It owns the world (users, channels, sources), the
+// discrete-event simulator, both physical layers, the CSI estimator and
+// the metrics, and drives a self-rescheduling frame event. Subclasses
+// implement process_frame() with their access-control rules and return the
+// frame duration they consumed — constant for the static-frame protocols,
+// data-dependent for RMAV/DRMA.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/csi.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "mac/contention.hpp"
+#include "mac/metrics.hpp"
+#include "mac/mobile_user.hpp"
+#include "mac/scenario.hpp"
+#include "phy/adaptive_phy.hpp"
+#include "phy/fixed_phy.hpp"
+#include "sim/simulator.hpp"
+
+namespace charisma::mac {
+
+class ProtocolEngine {
+ public:
+  explicit ProtocolEngine(const ScenarioParams& params);
+  virtual ~ProtocolEngine() = default;
+  ProtocolEngine(const ProtocolEngine&) = delete;
+  ProtocolEngine& operator=(const ProtocolEngine&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Runs `warmup` seconds (statistics discarded), then `measure` seconds,
+  /// and returns the metrics collected during measurement. May be called
+  /// once per engine instance.
+  const ProtocolMetrics& run(common::Time warmup, common::Time measure);
+
+  const ProtocolMetrics& metrics() const { return metrics_; }
+  const ScenarioParams& params() const { return params_; }
+  common::Time now() const { return sim_.now(); }
+  common::FrameIndex frame_index() const { return frame_index_; }
+
+  std::vector<MobileUser>& users() { return users_; }
+  MobileUser& user(common::UserId id);
+
+ protected:
+  /// One frame of protocol operation at sim time now(); returns the frame
+  /// duration consumed (> 0).
+  virtual common::Time process_frame() = 0;
+
+  // ---- World helpers ----
+
+  /// Advances channels and sources to the current frame boundary and
+  /// accounts packet generation/expiry.
+  void advance_world();
+
+  /// This user's permission probability (paper §2, p_v / p_d).
+  double permission_prob(const MobileUser& u) const;
+
+  /// Runs a contention phase over `candidates` with the class permission
+  /// probabilities scaled by each device's backoff state, records the
+  /// tally, charges request energy, injects downlink-ACK loss, and updates
+  /// backoff (winners reset, collided losers halve; a winner whose ACK was
+  /// lost behaves like a collided loser and is dropped from the winners).
+  /// `symbols_per_request` defaults to a request minislot; RMAV's
+  /// full-slot competitive requests pass the slot size.
+  ContentionOutcome run_contention(const std::vector<common::UserId>& candidates,
+                                   int minislots,
+                                   int symbols_per_request = -1);
+
+  // ---- Energy accounting (paper §1, motivation 2) ----
+
+  /// Joules for an uplink burst of `symbols` at this geometry's rate.
+  double burst_energy(double symbols) const;
+  /// Charges request-phase energy: `bursts` transmissions of
+  /// `symbols_each`, of which `useful` carried a winning request.
+  void note_request_energy(int bursts, double symbols_each, int useful);
+  /// Charges a pilot response to a CSI poll.
+  void note_pilot_energy();
+
+  /// Pilot-based CSI estimate of the user's current channel.
+  channel::CsiEstimate estimate_csi(MobileUser& u);
+
+  /// The D-TDMA/VR path: per-transmission mode choice from a fresh CSI
+  /// estimate fed back by the receiver (no MAC interaction).
+  std::optional<int> fresh_mode_estimate(MobileUser& u);
+
+  // ---- Transmissions (update metrics; caller owns slot assignment) ----
+
+  /// Voice packet over the fixed-throughput PHY. Consumes the packet;
+  /// counts delivery or channel-error loss.
+  void transmit_voice_fixed(MobileUser& u);
+
+  /// Voice packet over the adaptive PHY in the announced `mode`. A mode
+  /// carrying less than one packet per slot ships nothing (wasted slot;
+  /// packet stays pending until its deadline).
+  void transmit_voice_adaptive(MobileUser& u, int mode);
+
+  /// Data packets over the fixed PHY (one per slot). Returns delivered
+  /// count (0 or 1); failures stay queued for ARQ retransmission.
+  int transmit_data_fixed(MobileUser& u);
+
+  /// Data packets over the adaptive PHY: up to min(packets_per_slot(mode),
+  /// max_packets) head-of-line packets in one slot. Returns delivered
+  /// count.
+  int transmit_data_adaptive(MobileUser& u, int mode, int max_packets);
+
+  // ---- Accounting helpers ----
+  void note_contention(const ContentionTally& tally);
+  /// Credits delivered packets to the user's fairness ledger.
+  void note_user_delivery(common::UserId id, int packets);
+  void offer_info_slots(int n) { metrics_.info_slots_offered += n; }
+  void note_assigned_slot() { ++metrics_.info_slots_assigned; }
+  void note_wasted_slot() { ++metrics_.info_slots_wasted; }
+
+  ScenarioParams params_;
+  FrameGeometry geom_;
+  sim::Simulator sim_;
+  std::vector<MobileUser> users_;
+  ProtocolMetrics metrics_;
+  phy::FixedPhy fixed_phy_;
+  phy::AdaptivePhy adaptive_phy_;
+  channel::CsiEstimator csi_estimator_;
+  common::RngStream bs_rng_;
+  common::FrameIndex frame_index_ = 0;
+
+ private:
+  void frame_event();
+  bool started_ = false;
+};
+
+}  // namespace charisma::mac

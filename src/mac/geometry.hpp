@@ -1,0 +1,52 @@
+// TDMA frame geometry shared by every protocol on the common simulation
+// platform (paper Fig. 4 for CHARISMA; the baselines re-divide the same
+// symbol budget according to their own frame structures, see each
+// protocol's header).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace charisma::mac {
+
+struct FrameGeometry {
+  common::Time frame_duration = 2.5e-3;  ///< paper §4.1
+  int num_request_slots = 12;   ///< N_r request minislots (uplink), > N_i
+  int num_info_slots = 10;      ///< N_i information slots
+  int num_pilot_slots = 4;      ///< N_b pilot/poll slots (CHARISMA)
+  int slot_symbols = 160;       ///< symbols per information slot
+  int minislot_symbols = 16;    ///< symbols per request/pilot minislot
+  int packet_bits = 160;        ///< one 20 ms voice packet at 8 kbps
+  int frames_per_voice_period = 8;  ///< 20 ms / 2.5 ms
+
+  /// Symbols consumed by one uplink frame in the CHARISMA layout.
+  int frame_symbols() const {
+    return num_request_slots * minislot_symbols +
+           num_info_slots * slot_symbols + num_pilot_slots * minislot_symbols;
+  }
+
+  /// Implied air-interface symbol rate, symbols/s.
+  double symbol_rate() const {
+    return static_cast<double>(frame_symbols()) / frame_duration;
+  }
+
+  common::Time voice_period() const {
+    return frame_duration * frames_per_voice_period;
+  }
+
+  common::Time slot_duration() const {
+    return static_cast<double>(slot_symbols) / symbol_rate();
+  }
+
+  common::Time minislot_duration() const {
+    return static_cast<double>(minislot_symbols) / symbol_rate();
+  }
+
+  bool valid() const {
+    return frame_duration > 0.0 && num_request_slots > 0 &&
+           num_info_slots > 0 && num_pilot_slots >= 0 && slot_symbols > 0 &&
+           minislot_symbols > 0 && packet_bits > 0 &&
+           frames_per_voice_period > 0;
+  }
+};
+
+}  // namespace charisma::mac

@@ -1,0 +1,80 @@
+#include "mac/metrics.hpp"
+
+namespace charisma::mac {
+
+namespace {
+double safe_div(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+}  // namespace
+
+double ProtocolMetrics::voice_loss_rate() const {
+  return safe_div(
+      static_cast<double>(voice_dropped_deadline + voice_error_lost),
+      static_cast<double>(voice_generated));
+}
+
+double ProtocolMetrics::voice_drop_rate() const {
+  return safe_div(static_cast<double>(voice_dropped_deadline),
+                  static_cast<double>(voice_generated));
+}
+
+double ProtocolMetrics::voice_error_rate() const {
+  return safe_div(static_cast<double>(voice_error_lost),
+                  static_cast<double>(voice_generated));
+}
+
+double ProtocolMetrics::data_throughput_per_frame() const {
+  return safe_div(static_cast<double>(data_delivered),
+                  static_cast<double>(frames));
+}
+
+double ProtocolMetrics::mean_data_delay_s() const {
+  return data_delay_s.mean();
+}
+
+double ProtocolMetrics::request_success_ratio() const {
+  return safe_div(static_cast<double>(request_successes),
+                  static_cast<double>(request_slots));
+}
+
+double ProtocolMetrics::slot_utilization() const {
+  return safe_div(static_cast<double>(info_slots_assigned),
+                  static_cast<double>(info_slots_offered));
+}
+
+double ProtocolMetrics::slot_waste_ratio() const {
+  return safe_div(static_cast<double>(info_slots_wasted),
+                  static_cast<double>(info_slots_offered));
+}
+
+double ProtocolMetrics::jain_fairness_index(std::size_t first,
+                                            std::size_t last) const {
+  if (per_user_delivered.empty() || first > last ||
+      last >= per_user_delivered.size()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const auto n = static_cast<double>(last - first + 1);
+  for (std::size_t i = first; i <= last; ++i) {
+    const auto x = static_cast<double>(per_user_delivered[i]);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (n * sum_sq);
+}
+
+double ProtocolMetrics::total_energy_j() const {
+  return energy_request_j + energy_info_j + energy_pilot_j;
+}
+
+double ProtocolMetrics::energy_per_delivered_packet_mj() const {
+  return 1e3 * safe_div(total_energy_j(),
+                        static_cast<double>(voice_delivered + data_delivered));
+}
+
+double ProtocolMetrics::energy_waste_ratio() const {
+  return safe_div(energy_wasted_j, total_energy_j());
+}
+
+}  // namespace charisma::mac

@@ -1,0 +1,98 @@
+// Per-run protocol statistics, matching the paper's three reported metrics
+// (voice packet loss Eq. (3), data throughput, data delay) plus the
+// internal counters needed to explain them (contention efficiency, slot
+// utilization, CSI bookkeeping).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace charisma::mac {
+
+struct ProtocolMetrics {
+  // Measurement window.
+  std::int64_t frames = 0;
+  common::Time measured_time = 0.0;
+
+  // Voice accounting. loss = dropped (deadline) + error (channel).
+  std::int64_t voice_generated = 0;
+  std::int64_t voice_delivered = 0;
+  std::int64_t voice_dropped_deadline = 0;
+  std::int64_t voice_error_lost = 0;
+
+  // Data accounting.
+  std::int64_t data_generated = 0;
+  std::int64_t data_delivered = 0;
+  std::int64_t data_tx_attempts = 0;
+  std::int64_t data_retransmissions = 0;
+  common::Accumulator data_delay_s;  ///< arrival -> successful tx start
+
+  // Request-phase accounting (per minislot).
+  std::int64_t request_slots = 0;
+  std::int64_t request_successes = 0;
+  std::int64_t request_collisions = 0;
+  std::int64_t request_idle = 0;
+
+  // Information-slot accounting.
+  std::int64_t info_slots_offered = 0;
+  std::int64_t info_slots_assigned = 0;
+  /// Assigned but carried zero packets (reserved user idle, or granted mode
+  /// below one packet per slot — the paper's "wasted allocation").
+  std::int64_t info_slots_wasted = 0;
+
+  // CHARISMA-specific bookkeeping.
+  std::int64_t csi_polls = 0;
+  std::int64_t csi_stale_allocations = 0;
+
+  // Downlink acknowledgment failures (injected; see ScenarioParams).
+  std::int64_t acks_lost = 0;
+
+  // Mobile-device energy accounting (paper §1, motivation 2).
+  double energy_request_j = 0.0;  ///< request/auction/competitive bursts
+  double energy_info_j = 0.0;     ///< information-slot transmissions
+  double energy_pilot_j = 0.0;    ///< CSI-poll pilot responses
+  double energy_wasted_j = 0.0;   ///< joules that delivered no packet
+
+  /// Packets delivered per user id (voice + data) — the fairness view
+  /// needed by the §6 capacity-fair extension. Sized by the engine.
+  std::vector<std::int64_t> per_user_delivered;
+
+  void reset() { *this = ProtocolMetrics{}; }
+
+  // ---- Derived quantities (guard against empty windows) ----
+
+  /// Paper Eq. (3): fraction of voice packets not received intact.
+  double voice_loss_rate() const;
+  /// Deadline-drop component only.
+  double voice_drop_rate() const;
+  /// Channel-error component only.
+  double voice_error_rate() const;
+
+  /// Paper §5.2: average data packets successfully received per frame.
+  double data_throughput_per_frame() const;
+  /// Mean data delay in seconds.
+  double mean_data_delay_s() const;
+
+  double request_success_ratio() const;
+  double slot_utilization() const;
+  double slot_waste_ratio() const;
+
+  /// Jain's fairness index over per-user delivered packets restricted to
+  /// the users in [first, last]: (sum x)^2 / (n * sum x^2); 1 = perfectly
+  /// even, 1/n = one user takes everything. Returns 1 when nothing was
+  /// delivered. Pass the data-user id range to judge data fairness.
+  double jain_fairness_index(std::size_t first, std::size_t last) const;
+
+  /// Total uplink transmit energy across all devices, joules.
+  double total_energy_j() const;
+  /// Millijoules of transmit energy per successfully delivered packet
+  /// (voice + data); 0 when nothing was delivered.
+  double energy_per_delivered_packet_mj() const;
+  /// Fraction of transmit energy that delivered nothing.
+  double energy_waste_ratio() const;
+};
+
+}  // namespace charisma::mac

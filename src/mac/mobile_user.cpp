@@ -1,0 +1,53 @@
+#include "mac/mobile_user.hpp"
+
+namespace charisma::mac {
+
+namespace {
+// Stream-id name spaces so a user's channel, source and MAC draws come from
+// decorrelated streams.
+constexpr std::uint64_t kChannelStream = 0x1000'0000ULL;
+constexpr std::uint64_t kSourceStream = 0x2000'0000ULL;
+constexpr std::uint64_t kMacStream = 0x3000'0000ULL;
+constexpr std::uint64_t kLinkBudgetStream = 0x5000'0000ULL;
+
+// The user's radio environment: the shared cell configuration plus this
+// device's fixed link-budget offset (position in the cell).
+channel::ChannelConfig user_channel_config(common::UserId id,
+                                           const ScenarioParams& params) {
+  channel::ChannelConfig cfg = params.channel;
+  if (params.snr_spread_db > 0.0) {
+    common::RngStream rng(params.seed,
+                          kLinkBudgetStream + static_cast<std::uint64_t>(id));
+    cfg.mean_snr_db += rng.normal(0.0, params.snr_spread_db);
+  }
+  return cfg;
+}
+}  // namespace
+
+MobileUser::MobileUser(common::UserId id, ServiceType service,
+                       const ScenarioParams& params)
+    : id_(id),
+      service_(service),
+      rng_(params.seed, kMacStream + static_cast<std::uint64_t>(id)),
+      channel_(user_channel_config(id, params),
+               common::RngStream(params.seed,
+                                 kChannelStream + static_cast<std::uint64_t>(id))) {
+  common::RngStream source_rng(params.seed,
+                               kSourceStream + static_cast<std::uint64_t>(id));
+  if (service == ServiceType::kVoice) {
+    traffic::VoiceSourceConfig cfg;
+    cfg.mean_talkspurt_s = params.mean_talkspurt_s;
+    cfg.mean_silence_s = params.mean_silence_s;
+    cfg.voice_period = params.geometry.voice_period();
+    cfg.deadline = params.geometry.voice_period();
+    voice_.emplace(cfg, std::move(source_rng));
+  } else {
+    traffic::DataSourceConfig cfg;
+    cfg.mean_interarrival_s = params.mean_data_interarrival_s;
+    cfg.mean_burst_packets = params.mean_burst_packets;
+    cfg.frame_duration = params.geometry.frame_duration;
+    data_.emplace(cfg, std::move(source_rng));
+  }
+}
+
+}  // namespace charisma::mac

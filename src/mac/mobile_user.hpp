@@ -1,0 +1,66 @@
+// A mobile device: its service type, traffic source, radio channel and a
+// private random stream for MAC-level draws (contention permissions,
+// packet-error realizations). All per-user randomness is seeded from the
+// scenario seed and the user id, so populations are reproducible and
+// protocols see identical worlds.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "channel/user_channel.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "mac/scenario.hpp"
+#include "traffic/data_source.hpp"
+#include "traffic/voice_source.hpp"
+
+namespace charisma::mac {
+
+enum class ServiceType { kVoice, kData };
+
+class MobileUser {
+ public:
+  MobileUser(common::UserId id, ServiceType service,
+             const ScenarioParams& params);
+
+  common::UserId id() const { return id_; }
+  ServiceType service() const { return service_; }
+  bool is_voice() const { return service_ == ServiceType::kVoice; }
+  bool is_data() const { return service_ == ServiceType::kData; }
+
+  channel::UserChannel& channel() { return channel_; }
+  const channel::UserChannel& channel() const { return channel_; }
+
+  traffic::VoiceSource& voice() { return *voice_; }
+  const traffic::VoiceSource& voice() const { return *voice_; }
+  traffic::DataSource& data() { return *data_; }
+  const traffic::DataSource& data() const { return *data_; }
+
+  common::RngStream& rng() { return rng_; }
+
+  // ---- Contention backoff stabilization ----
+  // Slotted-ALOHA-style request phases are bistable: once the contender
+  // population exceeds ~1/p, collisions starve everyone (thrashing). Real
+  // PRMA deployments stabilize this with multiplicative backoff: a device
+  // that transmitted a request and saw no acknowledgment halves its
+  // permission scale; a success resets it. The scale multiplies the class
+  // permission probability p_v/p_d.
+
+  double backoff_scale() const { return backoff_scale_; }
+  void note_contention_success() { backoff_scale_ = 1.0; }
+  void note_contention_collision() {
+    backoff_scale_ = std::max(backoff_scale_ * 0.5, 1.0 / 64.0);
+  }
+
+ private:
+  double backoff_scale_ = 1.0;
+  common::UserId id_;
+  ServiceType service_;
+  common::RngStream rng_;
+  channel::UserChannel channel_;
+  std::optional<traffic::VoiceSource> voice_;
+  std::optional<traffic::DataSource> data_;
+};
+
+}  // namespace charisma::mac

@@ -1,0 +1,33 @@
+#include "mac/request_queue.hpp"
+
+#include <algorithm>
+
+namespace charisma::mac {
+
+namespace {
+constexpr double kTimeEps = 1e-9;
+}
+
+bool RequestQueue::contains(common::UserId user) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [user](const PendingRequest& r) { return r.user == user; });
+}
+
+void RequestQueue::remove(common::UserId user) {
+  std::erase_if(entries_,
+                [user](const PendingRequest& r) { return r.user == user; });
+}
+
+int RequestQueue::purge_expired_voice(common::Time now) {
+  const auto before = entries_.size();
+  std::erase_if(entries_, [now](const PendingRequest& r) {
+    return r.type == RequestType::kVoice && now + kTimeEps >= r.deadline;
+  });
+  return static_cast<int>(before - entries_.size());
+}
+
+void RequestQueue::age_all() {
+  for (auto& r : entries_) ++r.frames_waited;
+}
+
+}  // namespace charisma::mac

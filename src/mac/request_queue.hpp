@@ -1,0 +1,60 @@
+// The base-station request queue (paper §4.5): requests that survive
+// contention but fail to get information slots wait here instead of being
+// discarded. Baselines serve it first-come-first-served; CHARISMA treats
+// its entries as backlog requests ranked by the priority metric. Voice
+// entries whose packet deadline has passed are purged (the packet is
+// dropped at the device).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "channel/csi.hpp"
+#include "common/units.hpp"
+
+namespace charisma::mac {
+
+enum class RequestType { kVoice, kData };
+
+struct PendingRequest {
+  common::UserId user = common::kNoUser;
+  RequestType type = RequestType::kVoice;
+  /// Packets the device asked to transmit (1 for voice; burst backlog for
+  /// data, updated as slots are granted).
+  int packets_requested = 1;
+  common::Time acked_at = 0.0;            ///< when contention succeeded
+  common::Time deadline = 0.0;            ///< voice-packet deadline; data: +inf
+  channel::CsiEstimate csi{};             ///< last pilot-based estimate
+  /// Frames spent waiting since the ACK (the T_w of Eq. (2)).
+  int frames_waited = 0;
+};
+
+class RequestQueue {
+ public:
+  void push(PendingRequest request) { entries_.push_back(request); }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  std::deque<PendingRequest>& entries() { return entries_; }
+  const std::deque<PendingRequest>& entries() const { return entries_; }
+
+  bool contains(common::UserId user) const;
+
+  /// Removes the given user's request (after full service or expiry).
+  void remove(common::UserId user);
+
+  /// Purges voice requests whose deadline passed. Returns how many were
+  /// purged (their packets are accounted as deadline drops by the source).
+  int purge_expired_voice(common::Time now);
+
+  /// Increments every entry's waiting-frame counter (call once per frame).
+  void age_all();
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::deque<PendingRequest> entries_;
+};
+
+}  // namespace charisma::mac

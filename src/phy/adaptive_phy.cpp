@@ -1,0 +1,39 @@
+#include "phy/adaptive_phy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace charisma::phy {
+
+AdaptivePhy::AdaptivePhy(ModeTable table, PhyConfig config)
+    : table_(std::move(table)), config_(config) {
+  if (config.slot_symbols <= 0 || config.packet_bits <= 0) {
+    throw std::invalid_argument("AdaptivePhy: invalid slot geometry");
+  }
+}
+
+AdaptivePhy AdaptivePhy::abicm6(PhyConfig config) {
+  return AdaptivePhy(ModeTable::abicm6(config.target_ber), config);
+}
+
+std::optional<int> AdaptivePhy::select_mode(double snr_estimate_linear) const {
+  return table_.select(snr_estimate_linear, config_.selection_margin_db);
+}
+
+int AdaptivePhy::packets_per_slot(int mode) const {
+  const double bits =
+      table_.mode(mode).bits_per_symbol * config_.slot_symbols;
+  return static_cast<int>(std::floor(bits / config_.packet_bits + 1e-9));
+}
+
+double AdaptivePhy::packet_error_rate(int mode,
+                                      double true_snr_linear) const {
+  return table_.mode(mode).per(true_snr_linear, config_.packet_bits);
+}
+
+bool AdaptivePhy::transmit_packet(int mode, double true_snr_linear,
+                                  common::RngStream& rng) const {
+  return !rng.bernoulli(packet_error_rate(mode, true_snr_linear));
+}
+
+}  // namespace charisma::phy

@@ -1,0 +1,39 @@
+// The classical fixed-throughput physical layer used by RAMA, RMAV, DRMA
+// and D-TDMA/FR: one modulation/coding scheme sized for a reference SNR,
+// always one packet per slot, with the packet-error rate following the same
+// coded-modulation BER curve evaluated at the instantaneous channel state.
+// No adaptation: transmissions during fades are simply corrupted (paper
+// §5.3.1).
+#pragma once
+
+#include "common/rng.hpp"
+#include "phy/modes.hpp"
+
+namespace charisma::phy {
+
+class FixedPhy {
+ public:
+  /// `ber_reference_db`: SNR at which the scheme reaches `target_ber`
+  /// (the design point of the static link budget).
+  FixedPhy(double ber_reference_db, double target_ber, int packet_bits);
+
+  /// Defaults from DESIGN.md: 1 bit/symbol, design point 7 dB, BER 1e-5,
+  /// 160-bit packets.
+  static FixedPhy standard();
+
+  double bits_per_symbol() const { return 1.0; }
+  int packets_per_slot() const { return 1; }
+
+  double ber(double true_snr_linear) const { return mode_.ber(true_snr_linear); }
+  double packet_error_rate(double true_snr_linear) const;
+  bool transmit_packet(double true_snr_linear, common::RngStream& rng) const;
+
+  double ber_reference_db() const { return mode_.threshold_db; }
+  int packet_bits() const { return packet_bits_; }
+
+ private:
+  TransmissionMode mode_;
+  int packet_bits_;
+};
+
+}  // namespace charisma::phy

@@ -1,0 +1,138 @@
+#include "protocols/drma.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+namespace charisma::protocols {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DrmaProtocol::DrmaProtocol(const mac::ScenarioParams& params,
+                           DrmaOptions options)
+    : mac::ProtocolEngine(params),
+      options_(options),
+      grid_(params.geometry.frames_per_voice_period, options.info_slots) {}
+
+common::Time DrmaProtocol::process_frame() {
+  // Release reservations of finished talkspurts.
+  for (auto& u : users()) {
+    if (u.is_voice() && grid_.has_reservation(u.id()) &&
+        !u.voice().in_talkspurt() && !u.voice().has_packet()) {
+      grid_.release(u.id());
+    }
+  }
+  queue_.purge_expired_voice(now());
+
+  const int phase =
+      static_cast<int>(frame_index() % geom_.frames_per_voice_period);
+  offer_info_slots(options_.info_slots);
+
+  // Requests awaiting service: yesterday's queue first (with-queue mode),
+  // then winners of this frame's conversions as they happen.
+  std::deque<mac::PendingRequest> pending(queue_.entries().begin(),
+                                          queue_.entries().end());
+  queue_.clear();
+  std::unordered_set<common::UserId> engaged;  // queued or won this frame
+  for (const auto& r : pending) engaged.insert(r.user);
+
+  for (int slot = 0; slot < options_.info_slots; ++slot) {
+    const common::UserId owner = grid_.user_at(phase, slot);
+    if (owner != common::kNoUser) {
+      // Reserved slot: its voice user transmits (or idles it away).
+      transmit_voice_fixed(user(owner));
+      continue;
+    }
+
+    // Drop dead pending entries (expired voice packet, drained burst).
+    std::erase_if(pending, [this, &engaged](const mac::PendingRequest& r) {
+      auto& u = user(r.user);
+      const bool dead = r.type == mac::RequestType::kVoice
+                            ? !u.voice().has_packet()
+                            : u.data().backlog() == 0;
+      if (dead) engaged.erase(r.user);
+      return dead;
+    });
+
+    if (!pending.empty()) {
+      // Serve the oldest pending request in this free slot, voice first
+      // (voice outranks data in every protocol of the study).
+      auto pick = pending.begin();
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (it->type == mac::RequestType::kVoice) {
+          pick = it;
+          break;
+        }
+      }
+      auto request = *pick;
+      pending.erase(pick);
+      auto& u = user(request.user);
+      if (request.type == mac::RequestType::kVoice) {
+        // The served slot position becomes the talkspurt's reservation.
+        grid_.reserve_at(phase, slot, request.user);
+        transmit_voice_fixed(u);
+        engaged.erase(request.user);
+      } else {
+        // One information slot per successful data request (§3.3): the
+        // device contends again for the rest of its burst. (Persisting data
+        // requests in the queue would let a handful of data users occupy
+        // every otherwise-free slot, which starves the conversions new
+        // voice talkspurts need — the queue stores only requests that got
+        // *no* slot, per §4.5.)
+        transmit_data_fixed(u);
+        engaged.erase(request.user);
+      }
+      continue;
+    }
+
+    // Free slot with nothing to serve: convert it into N_x request
+    // minislots.
+    std::vector<common::UserId> candidates;
+    for (auto& u : users()) {
+      if (engaged.count(u.id())) continue;
+      if (u.is_voice()) {
+        if (!grid_.has_reservation(u.id()) && u.voice().in_talkspurt() &&
+            u.voice().has_packet()) {
+          candidates.push_back(u.id());
+        }
+      } else if (u.data().backlog() > 0) {
+        candidates.push_back(u.id());
+      }
+    }
+    if (candidates.empty()) continue;  // slot stays idle
+
+    auto outcome = run_contention(candidates, options_.minislots_per_conversion);
+    for (common::UserId uid : outcome.winners) {
+      mac::PendingRequest request;
+      request.user = uid;
+      auto& u = user(uid);
+      if (u.is_voice()) {
+        request.type = mac::RequestType::kVoice;
+        request.deadline = u.voice().packet().deadline;
+        request.packets_requested = 1;
+      } else {
+        request.type = mac::RequestType::kData;
+        request.deadline = kInf;
+        request.packets_requested = u.data().backlog();
+      }
+      request.acked_at = now();
+      pending.push_back(request);
+      engaged.insert(uid);
+    }
+  }
+
+  // Winners/queue entries that found no slot this frame.
+  if (params_.request_queue) {
+    for (auto& request : pending) {
+      ++request.frames_waited;
+      queue_.push(request);
+    }
+  }
+  return geom_.frame_duration;
+}
+
+}  // namespace charisma::protocols

@@ -1,0 +1,151 @@
+#include "protocols/dtdma.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace charisma::protocols {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DtdmaProtocol::DtdmaProtocol(const mac::ScenarioParams& params,
+                             PhyVariant variant)
+    : mac::ProtocolEngine(params),
+      variant_(variant),
+      grid_(params.geometry.frames_per_voice_period,
+            params.geometry.num_info_slots) {}
+
+void DtdmaProtocol::release_finished_talkspurts() {
+  for (auto& u : users()) {
+    if (u.is_voice() && grid_.has_reservation(u.id()) &&
+        !u.voice().in_talkspurt() && !u.voice().has_packet()) {
+      grid_.release(u.id());
+    }
+  }
+}
+
+void DtdmaProtocol::transmit_voice(mac::MobileUser& u) {
+  if (variant_ == PhyVariant::kFixedRate) {
+    transmit_voice_fixed(u);
+    return;
+  }
+  // VR: the transmitter adapts its mode from fresh receiver feedback; an
+  // outage (or the sub-packet mode 0) ships nothing and the slot is wasted.
+  const auto mode = fresh_mode_estimate(u);
+  if (!mode) {
+    note_assigned_slot();
+    note_wasted_slot();
+    return;
+  }
+  transmit_voice_adaptive(u, *mode);
+}
+
+int DtdmaProtocol::transmit_data_slot(mac::MobileUser& u) {
+  if (variant_ == PhyVariant::kFixedRate) {
+    return transmit_data_fixed(u);
+  }
+  const auto mode = fresh_mode_estimate(u);
+  if (!mode) {
+    note_assigned_slot();
+    note_wasted_slot();
+    return 0;
+  }
+  return transmit_data_adaptive(u, *mode,
+                                adaptive_phy_.packets_per_slot(*mode));
+}
+
+bool DtdmaProtocol::serve_request(const mac::PendingRequest& request,
+                                  int phase, int& free_slots) {
+  auto& u = user(request.user);
+  if (request.type == mac::RequestType::kVoice) {
+    if (!u.voice().has_packet()) return true;  // packet expired meanwhile
+    if (free_slots <= 0) return false;
+    if (!grid_.reserve(phase, request.user)) {
+      // Current phase fully booked: FCFS assignment is frame-local (§3.4),
+      // so the request waits (queue) or dies (no queue).
+      return false;
+    }
+    transmit_voice(u);
+    --free_slots;
+    return true;
+  }
+  // Data: leftover slots only, head-of-line burst, slot by slot.
+  if (u.data().backlog() == 0) return true;
+  while (free_slots > 0 && u.data().backlog() > 0) {
+    transmit_data_slot(u);
+    --free_slots;
+  }
+  return u.data().backlog() == 0;
+}
+
+common::Time DtdmaProtocol::process_frame() {
+  release_finished_talkspurts();
+  queue_.purge_expired_voice(now());
+
+  const int phase =
+      static_cast<int>(frame_index() % geom_.frames_per_voice_period);
+  offer_info_slots(geom_.num_info_slots);
+
+  // 1. Reserved voice users transmit in their owned slots.
+  const auto due = grid_.due_in_phase(phase);
+  for (common::UserId uid : due) {
+    transmit_voice(user(uid));
+  }
+  int free_slots = geom_.num_info_slots - static_cast<int>(due.size());
+
+  // 2. Request phase: N_r contention minislots.
+  std::vector<common::UserId> candidates;
+  for (auto& u : users()) {
+    if (queue_.contains(u.id())) continue;
+    if (u.is_voice()) {
+      if (!grid_.has_reservation(u.id()) && u.voice().in_talkspurt() &&
+          u.voice().has_packet()) {
+        candidates.push_back(u.id());
+      }
+    } else if (u.data().backlog() > 0) {
+      candidates.push_back(u.id());
+    }
+  }
+  auto outcome = run_contention(candidates, geom_.num_request_slots);
+
+  // 3. FCFS service: queued requests first (oldest), then this frame's
+  //    winners in minislot order. Unserved requests stay queued only in
+  //    the with-queue configuration (§4.5).
+  std::vector<mac::PendingRequest> to_serve(queue_.entries().begin(),
+                                            queue_.entries().end());
+  queue_.clear();
+  for (common::UserId uid : outcome.winners) {
+    mac::PendingRequest request;
+    request.user = uid;
+    auto& u = user(uid);
+    if (u.is_voice()) {
+      request.type = mac::RequestType::kVoice;
+      request.deadline = u.voice().packet().deadline;
+      request.packets_requested = 1;
+    } else {
+      request.type = mac::RequestType::kData;
+      request.deadline = kInf;
+      request.packets_requested = u.data().backlog();
+    }
+    request.acked_at = now();
+    to_serve.push_back(request);
+  }
+
+  // Voice outranks data in every protocol of the study (paper §1): serve
+  // all voice requests before any data request, FCFS within each class.
+  std::stable_partition(to_serve.begin(), to_serve.end(),
+                        [](const mac::PendingRequest& r) {
+                          return r.type == mac::RequestType::kVoice;
+                        });
+  for (auto& request : to_serve) {
+    const bool finished = serve_request(request, phase, free_slots);
+    if (!finished && params_.request_queue) {
+      ++request.frames_waited;
+      queue_.push(request);
+    }
+  }
+  return geom_.frame_duration;
+}
+
+}  // namespace charisma::protocols

@@ -1,0 +1,53 @@
+// D-TDMA/FR and D-TDMA/VR (paper §3.4/§3.5): the classical improved-PRMA
+// dynamic TDMA with a static frame (N_r request minislots + N_i information
+// slots) and first-come-first-served assignment — slots are granted
+// immediately as each request succeeds, with no view of channel state.
+//
+//  * FR runs the fixed-throughput PHY: one packet per slot, errors follow
+//    the instantaneous channel.
+//  * VR runs the variable-throughput adaptive PHY (Kawagishi et al. [14]):
+//    each transmission picks its mode from fresh receiver CSI feedback, but
+//    the MAC remains CSI-blind — the paper's foil showing that adaptation
+//    *without* MAC interaction captures only part of the gain.
+#pragma once
+
+#include <string>
+
+#include "mac/engine.hpp"
+#include "mac/request_queue.hpp"
+#include "mac/reservation.hpp"
+
+namespace charisma::protocols {
+
+class DtdmaProtocol : public mac::ProtocolEngine {
+ public:
+  enum class PhyVariant { kFixedRate, kVariableRate };
+
+  DtdmaProtocol(const mac::ScenarioParams& params, PhyVariant variant);
+
+  std::string name() const override {
+    return variant_ == PhyVariant::kFixedRate ? "D-TDMA/FR" : "D-TDMA/VR";
+  }
+
+  std::size_t queue_size() const { return queue_.size(); }
+  int reservations_held() const { return grid_.occupied_total(); }
+
+ protected:
+  common::Time process_frame() override;
+
+ private:
+  void release_finished_talkspurts();
+  /// Serves one request (voice: reserve + transmit; data: leftover slots).
+  /// Returns true when the request is finished (served or dead) and must
+  /// not be re-queued.
+  bool serve_request(const mac::PendingRequest& request, int phase,
+                     int& free_slots);
+  void transmit_voice(mac::MobileUser& u);
+  int transmit_data_slot(mac::MobileUser& u);
+
+  PhyVariant variant_;
+  mac::ReservationGrid grid_;
+  mac::RequestQueue queue_;
+};
+
+}  // namespace charisma::protocols

@@ -1,0 +1,79 @@
+#include "protocols/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "protocols/drma.hpp"
+#include "protocols/dtdma.hpp"
+#include "protocols/prma.hpp"
+#include "protocols/rama.hpp"
+#include "protocols/rmav.hpp"
+
+namespace charisma::protocols {
+
+const std::vector<ProtocolId>& all_protocols() {
+  static const std::vector<ProtocolId> kAll = {
+      ProtocolId::kCharisma, ProtocolId::kDtdmaVr, ProtocolId::kDrma,
+      ProtocolId::kRama,     ProtocolId::kDtdmaFr, ProtocolId::kRmav,
+  };
+  return kAll;
+}
+
+std::string protocol_name(ProtocolId id) {
+  switch (id) {
+    case ProtocolId::kCharisma: return "CHARISMA";
+    case ProtocolId::kDtdmaVr: return "D-TDMA/VR";
+    case ProtocolId::kDrma: return "DRMA";
+    case ProtocolId::kRama: return "RAMA";
+    case ProtocolId::kDtdmaFr: return "D-TDMA/FR";
+    case ProtocolId::kRmav: return "RMAV";
+    case ProtocolId::kPrma: return "PRMA";
+  }
+  throw std::invalid_argument("protocol_name: unknown id");
+}
+
+ProtocolId parse_protocol(const std::string& name) {
+  std::string key;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (key == "charisma") return ProtocolId::kCharisma;
+  if (key == "dtdmavr") return ProtocolId::kDtdmaVr;
+  if (key == "dtdmafr") return ProtocolId::kDtdmaFr;
+  if (key == "drma") return ProtocolId::kDrma;
+  if (key == "rama") return ProtocolId::kRama;
+  if (key == "rmav") return ProtocolId::kRmav;
+  if (key == "prma") return ProtocolId::kPrma;
+  throw std::invalid_argument("parse_protocol: unknown protocol '" + name +
+                              "'");
+}
+
+std::unique_ptr<mac::ProtocolEngine> make_protocol(
+    ProtocolId id, const mac::ScenarioParams& params,
+    const core::CharismaOptions& charisma_options) {
+  switch (id) {
+    case ProtocolId::kCharisma:
+      return std::make_unique<core::CharismaProtocol>(params,
+                                                      charisma_options);
+    case ProtocolId::kDtdmaVr:
+      return std::make_unique<DtdmaProtocol>(
+          params, DtdmaProtocol::PhyVariant::kVariableRate);
+    case ProtocolId::kDtdmaFr:
+      return std::make_unique<DtdmaProtocol>(
+          params, DtdmaProtocol::PhyVariant::kFixedRate);
+    case ProtocolId::kDrma:
+      return std::make_unique<DrmaProtocol>(params);
+    case ProtocolId::kRama:
+      return std::make_unique<RamaProtocol>(params);
+    case ProtocolId::kRmav:
+      return std::make_unique<RmavProtocol>(params);
+    case ProtocolId::kPrma:
+      return std::make_unique<PrmaProtocol>(params);
+  }
+  throw std::invalid_argument("make_protocol: unknown id");
+}
+
+}  // namespace charisma::protocols

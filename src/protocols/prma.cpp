@@ -1,0 +1,82 @@
+#include "protocols/prma.hpp"
+
+#include <vector>
+
+namespace charisma::protocols {
+
+PrmaProtocol::PrmaProtocol(const mac::ScenarioParams& params,
+                           PrmaOptions options)
+    : mac::ProtocolEngine(params),
+      options_(options),
+      grid_(params.geometry.frames_per_voice_period, options.info_slots) {}
+
+common::Time PrmaProtocol::process_frame() {
+  // Release reservations of finished talkspurts.
+  for (auto& u : users()) {
+    if (u.is_voice() && grid_.has_reservation(u.id()) &&
+        !u.voice().in_talkspurt() && !u.voice().has_packet()) {
+      grid_.release(u.id());
+    }
+  }
+
+  const int phase =
+      static_cast<int>(frame_index() % geom_.frames_per_voice_period);
+  offer_info_slots(options_.info_slots);
+
+  mac::ContentionTally tally;
+  for (int slot = 0; slot < options_.info_slots; ++slot) {
+    const common::UserId owner = grid_.user_at(phase, slot);
+    if (owner != common::kNoUser) {
+      transmit_voice_fixed(user(owner));
+      continue;
+    }
+
+    // Available slot: contenders transmit their packet directly.
+    std::vector<common::UserId> transmitters;
+    for (auto& u : users()) {
+      const bool active = u.is_voice()
+                              ? (!grid_.has_reservation(u.id()) &&
+                                 u.voice().in_talkspurt() &&
+                                 u.voice().has_packet())
+                              : u.data().backlog() > 0;
+      if (!active) continue;
+      if (u.rng().bernoulli(permission_prob(u) * u.backoff_scale())) {
+        transmitters.push_back(u.id());
+      }
+    }
+    ++tally.minislots;
+    tally.transmissions += static_cast<int>(transmitters.size());
+
+    if (transmitters.empty()) {
+      ++tally.idle;
+      continue;
+    }
+    if (transmitters.size() > 1) {
+      // Collision: a whole information slot is burned, every transmitted
+      // packet is lost from the air (it stays queued at the device).
+      ++tally.collisions;
+      note_request_energy(static_cast<int>(transmitters.size()),
+                          geom_.slot_symbols, /*useful=*/0);
+      for (common::UserId id : transmitters) {
+        user(id).note_contention_collision();
+      }
+      continue;
+    }
+
+    // Exactly one transmitter: the packet itself went over the air.
+    ++tally.successes;
+    auto& winner = user(transmitters.front());
+    winner.note_contention_success();
+    if (winner.is_voice()) {
+      // The slot position becomes the talkspurt's reservation.
+      grid_.reserve_at(phase, slot, winner.id());
+      transmit_voice_fixed(winner);
+    } else {
+      transmit_data_fixed(winner);
+    }
+  }
+  note_contention(tally);
+  return geom_.frame_duration;
+}
+
+}  // namespace charisma::protocols

@@ -1,0 +1,43 @@
+// PRMA — Packet Reservation Multiple Access (Goodman et al., 1989), the
+// common ancestor of the paper's D-TDMA baselines ("the first improved
+// PRMA type of protocol", §3.4). Provided as an extension baseline: the
+// frame is information slots only; a device contends by transmitting its
+// *packet* directly in an available slot (p-persistent), so a collision
+// burns a whole information slot — the cost D-TDMA's dedicated request
+// minislots were introduced to avoid. A successful voice transmission
+// reserves that slot position for the rest of the talkspurt; data wins
+// carry exactly one packet. Fixed-throughput PHY.
+//
+// Not part of the paper's six-protocol comparison; factory id kPrma.
+#pragma once
+
+#include <string>
+
+#include "mac/engine.hpp"
+#include "mac/reservation.hpp"
+
+namespace charisma::protocols {
+
+struct PrmaOptions {
+  /// Information slots per frame; the shared symbol budget fits 11 (no
+  /// request or pilot subframes).
+  int info_slots = 11;
+};
+
+class PrmaProtocol : public mac::ProtocolEngine {
+ public:
+  PrmaProtocol(const mac::ScenarioParams& params, PrmaOptions options = {});
+
+  std::string name() const override { return "PRMA"; }
+
+  int reservations_held() const { return grid_.occupied_total(); }
+
+ protected:
+  common::Time process_frame() override;
+
+ private:
+  PrmaOptions options_;
+  mac::ReservationGrid grid_;
+};
+
+}  // namespace charisma::protocols

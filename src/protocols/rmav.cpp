@@ -1,0 +1,77 @@
+#include "protocols/rmav.hpp"
+
+#include <algorithm>
+
+namespace charisma::protocols {
+
+RmavProtocol::RmavProtocol(const mac::ScenarioParams& params,
+                           RmavOptions options)
+    : mac::ProtocolEngine(params), options_(options) {}
+
+common::Time RmavProtocol::process_frame() {
+  int served_slots = 0;
+
+  // Serve the grants won in the previous frame's competitive slot.
+  for (common::UserId uid : grants_) {
+    auto& u = user(uid);
+    if (u.is_voice()) {
+      if (u.voice().has_packet()) {
+        transmit_voice_fixed(u);
+        ++served_slots;
+      }
+      // A grant covers exactly one packet; the next packet contends anew.
+    } else {
+      const int slots = std::min(options_.pmax, u.data().backlog());
+      for (int s = 0; s < slots; ++s) {
+        transmit_data_fixed(u);
+      }
+      served_slots += slots;
+    }
+  }
+  grants_.clear();
+
+  // The single competitive slot at the frame's tail.
+  std::vector<common::UserId> candidates;
+  for (auto& u : users()) {
+    if (u.is_voice()) {
+      if (u.voice().has_packet()) candidates.push_back(u.id());
+    } else if (u.data().backlog() > 0) {
+      candidates.push_back(u.id());
+    }
+  }
+  auto outcome = mac::run_request_phase(
+      candidates, 1,
+      [this](common::UserId id) {
+        return options_.permission_prob * user(id).backoff_scale();
+      },
+      [this](common::UserId id) -> common::RngStream& {
+        return user(id).rng();
+      });
+  note_contention(outcome.tally);
+  for (common::UserId id : outcome.transmitted) {
+    user(id).note_contention_collision();
+  }
+  for (common::UserId id : outcome.winners) {
+    user(id).note_contention_success();
+  }
+  // The competitive slot is a full information slot (Fig. 2b).
+  note_request_energy(outcome.tally.transmissions, geom_.slot_symbols,
+                      static_cast<int>(outcome.winners.size()));
+  if (!outcome.winners.empty()) {
+    grants_.push_back(outcome.winners.front());
+  }
+
+  offer_info_slots(served_slots);
+
+  // Frame duration follows the content: served slots plus the competitive
+  // slot, which in RMAV is a full information slot (Fig. 2b — it is "the
+  // last slot" of the frame). A fully idle system hops at the nominal
+  // frame cadence, which changes nothing observable (nobody is waiting)
+  // but avoids spinning on micro-frames.
+  if (served_slots == 0 && candidates.empty()) {
+    return geom_.frame_duration;
+  }
+  return static_cast<double>(served_slots + 1) * geom_.slot_duration();
+}
+
+}  // namespace charisma::protocols

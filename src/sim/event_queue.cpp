@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace charisma::sim {
+
+EventId EventQueue::schedule(common::Time time, EventCallback callback) {
+  const EventId id = next_id_++;
+  heap_.push_back(Node{time, next_seq_++, id, std::move(callback)});
+  std::push_heap(heap_.begin(), heap_.end(), NodeOrder{});
+  pending_.insert(id);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), NodeOrder{});
+    heap_.pop_back();
+  }
+}
+
+common::Time EventQueue::next_time() {
+  skim();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty queue");
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), NodeOrder{});
+  Node node = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(node.id);
+  assert(live_count_ > 0);
+  --live_count_;
+  return Fired{node.time, std::move(node.callback)};
+}
+
+}  // namespace charisma::sim

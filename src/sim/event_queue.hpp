@@ -1,0 +1,71 @@
+// Pending-event set for the discrete-event engine: a binary min-heap keyed
+// by (time, sequence). The sequence number makes ordering of simultaneous
+// events deterministic (FIFO in scheduling order), which the protocol
+// comparisons rely on for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace charisma::sim {
+
+using EventCallback = std::function<void()>;
+
+/// Opaque handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  /// Inserts an event; returns a handle usable with cancel().
+  EventId schedule(common::Time time, EventCallback callback);
+
+  /// Lazily cancels the event with the given handle. Returns false when the
+  /// event already fired, was already cancelled, or the id is unknown.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  common::Time next_time();
+
+  /// Extracts and returns the earliest live event. Requires !empty().
+  struct Fired {
+    common::Time time;
+    EventCallback callback;
+  };
+  Fired pop();
+
+ private:
+  struct Node {
+    common::Time time;
+    std::uint64_t seq;
+    EventId id;
+    EventCallback callback;
+  };
+  struct NodeOrder {
+    // std::push_heap et al. build a max-heap; invert for earliest-first,
+    // with sequence as the deterministic tie-break.
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled nodes sitting at the top of the heap.
+  void skim();
+
+  std::vector<Node> heap_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::unordered_set<EventId> cancelled_;  // ids cancelled but not yet popped
+  std::unordered_set<EventId> pending_;    // ids currently in the heap
+};
+
+}  // namespace charisma::sim

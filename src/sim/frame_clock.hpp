@@ -1,0 +1,46 @@
+// Frame arithmetic shared by the fixed-frame protocols: maps between
+// simulation time and TDMA frame indices, and locates voice-packet periods
+// (one packet per 8 frames at the paper's 2.5 ms frame / 20 ms voice
+// period).
+#pragma once
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace charisma::sim {
+
+class FrameClock {
+ public:
+  FrameClock(common::Time frame_duration, int frames_per_voice_period)
+      : frame_duration_(frame_duration),
+        frames_per_voice_period_(frames_per_voice_period) {}
+
+  common::Time frame_duration() const { return frame_duration_; }
+  int frames_per_voice_period() const { return frames_per_voice_period_; }
+
+  common::Time frame_start(common::FrameIndex frame) const {
+    return static_cast<double>(frame) * frame_duration_;
+  }
+
+  common::FrameIndex frame_at(common::Time t) const {
+    return static_cast<common::FrameIndex>(std::floor(t / frame_duration_ +
+                                                      1e-9));
+  }
+
+  /// The voice-period phase of a frame: frames with equal phase are exactly
+  /// N voice periods apart. Used by the reservation grid.
+  int voice_phase(common::FrameIndex frame) const {
+    return static_cast<int>(frame % frames_per_voice_period_);
+  }
+
+  common::Time voice_period() const {
+    return frame_duration_ * frames_per_voice_period_;
+  }
+
+ private:
+  common::Time frame_duration_;
+  int frames_per_voice_period_;
+};
+
+}  // namespace charisma::sim

@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace charisma::sim {
+
+EventId Simulator::schedule_at(common::Time when, EventCallback callback) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  return queue_.schedule(when, std::move(callback));
+}
+
+EventId Simulator::schedule_in(common::Time delay, EventCallback callback) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(callback));
+}
+
+void Simulator::dispatch_one() {
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++events_processed_;
+  fired.callback();
+}
+
+void Simulator::run_until(common::Time end_time) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > end_time) break;
+    dispatch_one();
+  }
+  if (now_ < end_time) now_ = end_time;
+}
+
+void Simulator::run() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) dispatch_one();
+}
+
+}  // namespace charisma::sim

@@ -1,0 +1,53 @@
+// The discrete-event simulator: a monotonic clock plus the pending-event
+// set. Protocol engines schedule their frame-processing events here; the
+// variable-frame protocols (RMAV, DRMA) simply schedule their next frame at
+// a data-dependent offset, which is why a general DES (rather than a fixed
+// frame loop) is the substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace charisma::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  common::Time now() const { return now_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Schedules `callback` at absolute time `when` (>= now).
+  EventId schedule_at(common::Time when, EventCallback callback);
+
+  /// Schedules `callback` `delay` seconds from now (delay >= 0).
+  EventId schedule_in(common::Time delay, EventCallback callback);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or the clock passes `end_time`, whichever
+  /// comes first. Events at exactly `end_time` are processed.
+  void run_until(common::Time end_time);
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Makes run()/run_until() return after the in-flight event completes.
+  void request_stop() { stop_requested_ = true; }
+
+  bool has_pending_events() const { return !queue_.empty(); }
+
+ private:
+  void dispatch_one();
+
+  EventQueue queue_;
+  common::Time now_ = 0.0;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace charisma::sim

@@ -1,0 +1,50 @@
+#include "traffic/data_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace charisma::traffic {
+
+namespace {
+constexpr double kTimeEps = 1e-9;
+}
+
+DataSource::DataSource(const DataSourceConfig& config, common::RngStream rng)
+    : config_(config), rng_(std::move(rng)) {
+  if (config.mean_interarrival_s <= 0.0 || config.mean_burst_packets < 1.0) {
+    throw std::invalid_argument("DataSource: invalid traffic parameters");
+  }
+  next_burst_at_ = rng_.exponential(config_.mean_interarrival_s);
+}
+
+DataSource::FrameUpdate DataSource::on_frame(common::Time now) {
+  FrameUpdate update;
+  while (next_burst_at_ <= now + kTimeEps) {
+    const auto burst = std::max<int>(
+        1, static_cast<int>(std::ceil(rng_.exponential(config_.mean_burst_packets))));
+    for (int i = 0; i < burst; ++i) queue_.push_back(now);
+    packets_generated_ += burst;
+    ++update.bursts_arrived;
+    update.packets_arrived += burst;
+    next_burst_at_ += rng_.exponential(config_.mean_interarrival_s);
+  }
+  return update;
+}
+
+void DataSource::pop_head() {
+  if (queue_.empty()) {
+    throw std::logic_error("DataSource::pop_head: empty queue");
+  }
+  queue_.pop_front();
+}
+
+void DataSource::push_front(const std::vector<common::Time>& arrivals) {
+  // Re-insert in original order: the last element pushed lands at the very
+  // front, so iterate in reverse.
+  for (auto it = arrivals.rbegin(); it != arrivals.rend(); ++it) {
+    queue_.push_front(*it);
+  }
+}
+
+}  // namespace charisma::traffic

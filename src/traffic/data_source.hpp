@@ -1,0 +1,63 @@
+// The paper's file-data source model (§2): bursts arrive with exponential
+// interarrival times (mean 1 s); each burst holds an exponentially
+// distributed number of fixed-size packets (mean 100). Packets arrive at
+// frame boundaries, are delay-insensitive (never expire), and corrupted
+// transmissions are retransmitted by the datalink layer — the per-packet
+// arrival timestamp is kept so the paper's delay metric (arrival to start
+// of the *successful* transmission) can be reported.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace charisma::traffic {
+
+struct DataSourceConfig {
+  double mean_interarrival_s = 1.0;
+  double mean_burst_packets = 100.0;
+  common::Time frame_duration = 2.5e-3;
+};
+
+class DataSource {
+ public:
+  DataSource(const DataSourceConfig& config, common::RngStream rng);
+
+  struct FrameUpdate {
+    int bursts_arrived = 0;
+    int packets_arrived = 0;
+  };
+
+  /// Advances to the frame boundary at `now`; bursts whose arrival time has
+  /// passed join the backlog at this boundary (paper: packets arrive at
+  /// frame boundaries).
+  FrameUpdate on_frame(common::Time now);
+
+  int backlog() const { return static_cast<int>(queue_.size()); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Arrival time of the head-of-line packet. Requires !empty().
+  common::Time head_arrival() const { return queue_.front(); }
+
+  /// Removes the head-of-line packet (successfully delivered).
+  void pop_head();
+
+  /// Returns failed packets (by arrival time) to the head of the queue in
+  /// their original order — the datalink ARQ path.
+  void push_front(const std::vector<common::Time>& arrivals);
+
+  std::int64_t packets_generated() const { return packets_generated_; }
+  const DataSourceConfig& config() const { return config_; }
+
+ private:
+  DataSourceConfig config_;
+  common::RngStream rng_;
+  std::deque<common::Time> queue_;  ///< per-packet arrival time
+  common::Time next_burst_at_;
+  std::int64_t packets_generated_ = 0;
+};
+
+}  // namespace charisma::traffic

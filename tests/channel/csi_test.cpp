@@ -1,0 +1,62 @@
+#include "channel/csi.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace charisma::channel {
+namespace {
+
+TEST(CsiEstimate, DefaultInvalid) {
+  CsiEstimate est;
+  EXPECT_FALSE(est.valid());
+  EXPECT_TRUE(est.expired(0.0, 1.0));
+}
+
+TEST(CsiEstimate, ExpiryWindow) {
+  CsiEstimate est{10.0, 5.0};
+  EXPECT_TRUE(est.valid());
+  EXPECT_FALSE(est.expired(5.0, 0.005));
+  EXPECT_FALSE(est.expired(5.005, 0.005));  // exactly at the validity edge
+  EXPECT_TRUE(est.expired(5.006, 0.005));
+}
+
+TEST(CsiEstimator, NoiselessIsExact) {
+  CsiEstimator estimator(0.0, 5e-3);
+  common::RngStream rng(1);
+  const auto est = estimator.estimate(42.0, 1.0, rng);
+  EXPECT_DOUBLE_EQ(est.snr_linear, 42.0);
+  EXPECT_DOUBLE_EQ(est.estimated_at, 1.0);
+}
+
+TEST(CsiEstimator, NoiseSigmaInDb) {
+  CsiEstimator estimator(1.0, 5e-3);
+  common::RngStream rng(2);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto est = estimator.estimate(10.0, 0.0, rng);
+    const double err_db = common::to_db(est.snr_linear / 10.0);
+    sum += err_db;
+    sum2 += err_db * err_db;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 1.0, 0.02);
+}
+
+TEST(CsiEstimator, Validation) {
+  EXPECT_THROW(CsiEstimator(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(CsiEstimator(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(CsiEstimator, ValidityAccessor) {
+  CsiEstimator estimator(0.5, 5e-3);
+  EXPECT_DOUBLE_EQ(estimator.validity(), 5e-3);
+  EXPECT_DOUBLE_EQ(estimator.error_sigma_db(), 0.5);
+}
+
+}  // namespace
+}  // namespace charisma::channel

@@ -1,0 +1,156 @@
+#include "channel/fading.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace charisma::channel {
+namespace {
+
+TEST(Jakes, UnitMeanPower) {
+  common::RngStream rng(1);
+  JakesFadingGenerator gen(100.0, 16, rng);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += gen.power_gain(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.1);
+}
+
+TEST(Jakes, RayleighEnvelopeDistribution) {
+  // P(|h|^2 < x) should match 1 - exp(-x) for the unit-mean Rayleigh power.
+  common::RngStream rng(2);
+  // Average over several independent generators to suppress the
+  // finite-oscillator correlation of a single realization.
+  int below_half = 0, below_two = 0;
+  const int gens = 40, samples = 2000;
+  for (int g = 0; g < gens; ++g) {
+    JakesFadingGenerator gen(100.0, 16, rng);
+    for (int i = 0; i < samples; ++i) {
+      const double p = gen.power_gain(static_cast<double>(i) * 2e-3);
+      if (p < 0.5) ++below_half;
+      if (p < 2.0) ++below_two;
+    }
+  }
+  const double n = gens * samples;
+  EXPECT_NEAR(below_half / n, 1.0 - std::exp(-0.5), 0.03);
+  EXPECT_NEAR(below_two / n, 1.0 - std::exp(-2.0), 0.03);
+}
+
+TEST(Jakes, AutocorrelationFollowsBesselJ0) {
+  // The Clarke-model autocorrelation of the complex gain is J0(2 pi fd tau).
+  common::RngStream rng(3);
+  const double fd = 100.0;
+  const double tau = 2e-3;  // J0(2 pi * 0.2) ~ 0.6425
+  double corr_sum = 0.0;
+  const int gens = 60;
+  for (int g = 0; g < gens; ++g) {
+    JakesFadingGenerator gen(fd, 32, rng);
+    double acc = 0.0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) * 5e-3;
+      const auto h0 = gen.gain(t);
+      const auto h1 = gen.gain(t + tau);
+      acc += h0.real() * h1.real() + h0.imag() * h1.imag();
+    }
+    corr_sum += acc / n;
+  }
+  const double expected = common::bessel_j0(2.0 * M_PI * fd * tau);
+  EXPECT_NEAR(corr_sum / gens, expected, 0.08);
+}
+
+TEST(Jakes, InvalidArguments) {
+  common::RngStream rng(4);
+  EXPECT_THROW(JakesFadingGenerator(0.0, 16, rng), std::invalid_argument);
+  EXPECT_THROW(JakesFadingGenerator(100.0, 4, rng), std::invalid_argument);
+}
+
+TEST(ArBranch, StationaryUnitPower) {
+  common::RngStream rng(5);
+  ArFadingBranch branch(0.8, rng);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    branch.step(rng);
+    sum += branch.power();
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(ArBranch, RhoValidation) {
+  common::RngStream rng(6);
+  EXPECT_THROW(ArFadingBranch(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(ArFadingBranch(1.0, rng), std::invalid_argument);
+  EXPECT_NO_THROW(ArFadingBranch(0.0, rng));
+}
+
+TEST(ArBranch, HighRhoMeansSlowChange) {
+  common::RngStream rng_a(7), rng_b(7);
+  ArFadingBranch slow(0.99, rng_a), fast(0.10, rng_b);
+  double slow_diff = 0.0, fast_diff = 0.0;
+  double prev_slow = slow.power(), prev_fast = fast.power();
+  for (int i = 0; i < 5000; ++i) {
+    slow.step(rng_a);
+    fast.step(rng_b);
+    slow_diff += std::fabs(slow.power() - prev_slow);
+    fast_diff += std::fabs(fast.power() - prev_fast);
+    prev_slow = slow.power();
+    prev_fast = fast.power();
+  }
+  EXPECT_LT(slow_diff, fast_diff * 0.5);
+}
+
+TEST(ArRho, ExponentialForm) {
+  EXPECT_NEAR(ar_rho_for(100.0, 2.5e-3), std::exp(-0.25), 1e-12);
+  EXPECT_NEAR(ar_rho_for(20.0, 2.5e-3), std::exp(-0.05), 1e-12);
+  EXPECT_THROW(ar_rho_for(0.0, 1e-3), std::invalid_argument);
+  EXPECT_THROW(ar_rho_for(100.0, 0.0), std::invalid_argument);
+}
+
+TEST(Diversity, GammaMarginalMoments) {
+  // Mean 1, variance 1/L for L averaged unit-exponential branch powers.
+  common::RngStream rng(8);
+  const int branches = 4;
+  DiversityFadingProcess proc(branches, 0.5, rng);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    proc.step(rng);
+    const double p = proc.power_gain();
+    sum += p;
+    sum2 += p * p;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.03);
+  EXPECT_NEAR(var, 1.0 / branches, 0.03);
+}
+
+TEST(Diversity, TailMatchesGammaQ) {
+  // P(X > x) for Gamma(shape 4, scale 1/4) = Q(4, 4x).
+  common::RngStream rng(9);
+  DiversityFadingProcess proc(4, 0.3, rng);
+  int above = 0;
+  const int n = 200000;
+  const double x = 2.0;
+  for (int i = 0; i < n; ++i) {
+    proc.step(rng);
+    if (proc.power_gain() > x) ++above;
+  }
+  const double expected = common::gamma_upper_regularized(4, 4.0 * x);
+  EXPECT_NEAR(static_cast<double>(above) / n, expected, 0.002);
+}
+
+TEST(Diversity, BranchCountValidation) {
+  common::RngStream rng(10);
+  EXPECT_THROW(DiversityFadingProcess(0, 0.5, rng), std::invalid_argument);
+  DiversityFadingProcess single(1, 0.5, rng);
+  EXPECT_EQ(single.branches(), 1);
+}
+
+}  // namespace
+}  // namespace charisma::channel

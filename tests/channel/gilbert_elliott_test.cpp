@@ -1,0 +1,128 @@
+#include "channel/gilbert_elliott.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace charisma::channel {
+namespace {
+
+GilbertElliottConfig test_config() {
+  GilbertElliottConfig cfg;
+  cfg.good_error_rate = 1e-3;
+  cfg.bad_error_rate = 0.4;
+  cfg.mean_good_dwell = 0.05;
+  cfg.mean_bad_dwell = 0.01;
+  return cfg;
+}
+
+TEST(GilbertElliott, StationaryBadFraction) {
+  const auto cfg = test_config();
+  GilbertElliottChannel ch(cfg, common::RngStream(1));
+  long bad_steps = 0;
+  const long steps = 400000;
+  for (long i = 1; i <= steps; ++i) {
+    ch.advance_to(static_cast<double>(i) * cfg.sample_interval);
+    if (ch.in_bad_state()) ++bad_steps;
+  }
+  EXPECT_NEAR(static_cast<double>(bad_steps) / static_cast<double>(steps),
+              cfg.bad_state_fraction(), 0.01);
+}
+
+TEST(GilbertElliott, AverageErrorRateMatchesFormula) {
+  const auto cfg = test_config();
+  GilbertElliottChannel ch(cfg, common::RngStream(2));
+  common::RngStream draw(3);
+  long failures = 0;
+  const long steps = 300000;
+  for (long i = 1; i <= steps; ++i) {
+    ch.advance_to(static_cast<double>(i) * cfg.sample_interval);
+    if (!ch.transmit_packet(draw)) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / static_cast<double>(steps),
+              cfg.average_error_rate(), 0.01);
+}
+
+TEST(GilbertElliott, ErrorsComeInBursts) {
+  // Consecutive-step error correlation must far exceed the i.i.d. value.
+  const auto cfg = test_config();
+  GilbertElliottChannel ch(cfg, common::RngStream(4));
+  common::RngStream draw(5);
+  long pair_both = 0, pairs = 0, errors = 0;
+  bool prev_error = false;
+  const long steps = 300000;
+  for (long i = 1; i <= steps; ++i) {
+    ch.advance_to(static_cast<double>(i) * cfg.sample_interval);
+    const bool error = !ch.transmit_packet(draw);
+    if (error) ++errors;
+    if (i > 1) {
+      ++pairs;
+      if (error && prev_error) ++pair_both;
+    }
+    prev_error = error;
+  }
+  const double p = static_cast<double>(errors) / static_cast<double>(steps);
+  const double p_joint =
+      static_cast<double>(pair_both) / static_cast<double>(pairs);
+  EXPECT_GT(p_joint, 2.0 * p * p);  // strongly super-independent
+}
+
+TEST(GilbertElliott, DwellTimesMatchMeans) {
+  const auto cfg = test_config();
+  GilbertElliottChannel ch(cfg, common::RngStream(6));
+  double bad_time = 0.0;
+  long bad_entries = 0;
+  bool was_bad = ch.in_bad_state();
+  const long steps = 1000000;
+  for (long i = 1; i <= steps; ++i) {
+    ch.advance_to(static_cast<double>(i) * cfg.sample_interval);
+    if (ch.in_bad_state()) {
+      bad_time += cfg.sample_interval;
+      if (!was_bad) ++bad_entries;
+    }
+    was_bad = ch.in_bad_state();
+  }
+  ASSERT_GT(bad_entries, 1000);
+  EXPECT_NEAR(bad_time / static_cast<double>(bad_entries),
+              cfg.mean_bad_dwell, cfg.mean_bad_dwell * 0.15);
+}
+
+TEST(GilbertElliott, StateConstantWithinStep) {
+  const auto cfg = test_config();
+  GilbertElliottChannel ch(cfg, common::RngStream(7));
+  ch.advance_to(1.0);
+  const bool state = ch.in_bad_state();
+  ch.advance_to(1.0 + cfg.sample_interval / 3.0);
+  EXPECT_EQ(ch.in_bad_state(), state);
+}
+
+TEST(GilbertElliott, TimeMustNotGoBackwards) {
+  GilbertElliottChannel ch(test_config(), common::RngStream(8));
+  ch.advance_to(1.0);
+  EXPECT_THROW(ch.advance_to(0.5), std::logic_error);
+}
+
+TEST(GilbertElliott, Validation) {
+  auto cfg = test_config();
+  cfg.bad_error_rate = 1.5;
+  EXPECT_THROW(GilbertElliottChannel(cfg, common::RngStream(9)),
+               std::invalid_argument);
+  cfg = test_config();
+  cfg.mean_good_dwell = 0.0;
+  EXPECT_THROW(GilbertElliottChannel(cfg, common::RngStream(9)),
+               std::invalid_argument);
+}
+
+TEST(GilbertElliott, Deterministic) {
+  GilbertElliottChannel a(test_config(), common::RngStream(10));
+  GilbertElliottChannel b(test_config(), common::RngStream(10));
+  for (long i = 1; i <= 10000; ++i) {
+    const double t = static_cast<double>(i) * 2.5e-3;
+    a.advance_to(t);
+    b.advance_to(t);
+    ASSERT_EQ(a.in_bad_state(), b.in_bad_state());
+  }
+}
+
+}  // namespace
+}  // namespace charisma::channel

@@ -1,0 +1,77 @@
+#include "channel/shadowing.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace charisma::channel {
+namespace {
+
+TEST(Shadowing, StationaryMoments) {
+  common::RngStream rng(1);
+  LogNormalShadowing shadow(4.0, 1.0, 2.5e-3, rng);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    shadow.step(rng);
+    sum += shadow.db_value();
+    sum2 += shadow.db_value() * shadow.db_value();
+  }
+  const double mean = sum / n;
+  // The process is strongly autocorrelated (tau=1s vs 2.5ms steps), so the
+  // effective sample count is n/800; tolerances account for that.
+  EXPECT_NEAR(mean, 0.0, 0.5);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 4.0, 0.5);
+}
+
+TEST(Shadowing, AutocorrelationTimeConstant) {
+  common::RngStream rng(2);
+  const double tau = 0.1;
+  const double dt = 1e-3;
+  LogNormalShadowing shadow(6.0, tau, dt, rng);
+  // lag-k autocorrelation should be exp(-k*dt/tau).
+  const int lag = 100;  // exp(-1) ~ 0.368
+  std::vector<double> values;
+  for (int i = 0; i < 200000; ++i) {
+    shadow.step(rng);
+    values.push_back(shadow.db_value());
+  }
+  double c0 = 0.0, ck = 0.0;
+  const auto n = static_cast<int>(values.size()) - lag;
+  for (int i = 0; i < n; ++i) {
+    c0 += values[static_cast<std::size_t>(i)] * values[static_cast<std::size_t>(i)];
+    ck += values[static_cast<std::size_t>(i)] *
+          values[static_cast<std::size_t>(i + lag)];
+  }
+  EXPECT_NEAR(ck / c0, std::exp(-1.0), 0.08);
+}
+
+TEST(Shadowing, LinearGainMatchesDb) {
+  common::RngStream rng(3);
+  LogNormalShadowing shadow(8.0, 1.0, 1e-3, rng);
+  for (int i = 0; i < 100; ++i) {
+    shadow.step(rng);
+    EXPECT_NEAR(shadow.linear_gain(), std::pow(10.0, shadow.db_value() / 10.0),
+                1e-12);
+  }
+}
+
+TEST(Shadowing, ZeroSigmaIsDeterministicUnity) {
+  common::RngStream rng(4);
+  LogNormalShadowing shadow(0.0, 1.0, 1e-3, rng);
+  for (int i = 0; i < 100; ++i) {
+    shadow.step(rng);
+    EXPECT_NEAR(shadow.linear_gain(), 1.0, 1e-12);
+  }
+}
+
+TEST(Shadowing, InvalidArguments) {
+  common::RngStream rng(5);
+  EXPECT_THROW(LogNormalShadowing(-1.0, 1.0, 1e-3, rng), std::invalid_argument);
+  EXPECT_THROW(LogNormalShadowing(4.0, 0.0, 1e-3, rng), std::invalid_argument);
+  EXPECT_THROW(LogNormalShadowing(4.0, 1.0, 0.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace charisma::channel

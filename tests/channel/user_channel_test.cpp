@@ -1,0 +1,126 @@
+#include "channel/user_channel.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace charisma::channel {
+namespace {
+
+ChannelConfig test_config() {
+  ChannelConfig cfg;
+  cfg.mean_snr_db = 16.0;
+  cfg.shadow_sigma_db = 3.0;
+  cfg.doppler_hz = 100.0;
+  cfg.diversity_branches = 4;
+  cfg.sample_interval = 2.5e-3;
+  return cfg;
+}
+
+TEST(UserChannel, MeanSnrNearLinkBudget) {
+  UserChannel ch(test_config(), common::RngStream(1));
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 1; i <= n; ++i) {
+    ch.advance_to(static_cast<double>(i) * 2.5e-3);
+    sum += ch.snr_linear();
+  }
+  // E[snr] = mean * E[fading]=1 * E[shadow] where E[10^(N(0,sigma)/10)]
+  // = exp((sigma*ln10/10)^2/2) ~ 1.27 for sigma=3dB.
+  const double shadow_mean = std::exp(std::pow(3.0 * std::log(10.0) / 10.0, 2) / 2.0);
+  EXPECT_NEAR(sum / n, common::from_db(16.0) * shadow_mean,
+              common::from_db(16.0) * 0.25);
+}
+
+TEST(UserChannel, TimeMustNotGoBackwards) {
+  UserChannel ch(test_config(), common::RngStream(2));
+  ch.advance_to(1.0);
+  EXPECT_THROW(ch.advance_to(0.5), std::logic_error);
+}
+
+TEST(UserChannel, StateConstantWithinGridStep) {
+  UserChannel ch(test_config(), common::RngStream(3));
+  ch.advance_to(0.1);
+  const double snr = ch.snr_linear();
+  ch.advance_to(0.1 + 1e-3);  // less than one 2.5 ms step further
+  EXPECT_DOUBLE_EQ(ch.snr_linear(), snr);
+}
+
+TEST(UserChannel, IndependentUsersDecorrelated) {
+  UserChannel a(test_config(), common::RngStream(4));
+  UserChannel b(test_config(), common::RngStream(5));
+  double sum_ab = 0.0, sum_a = 0.0, sum_b = 0.0, sum_a2 = 0.0, sum_b2 = 0.0;
+  const int n = 20000;
+  for (int i = 1; i <= n; ++i) {
+    const double t = static_cast<double>(i) * 2.5e-3;
+    a.advance_to(t);
+    b.advance_to(t);
+    const double fa = a.fading_power();
+    const double fb = b.fading_power();
+    sum_a += fa;
+    sum_b += fb;
+    sum_ab += fa * fb;
+    sum_a2 += fa * fa;
+    sum_b2 += fb * fb;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  const double var_a = sum_a2 / n - (sum_a / n) * (sum_a / n);
+  const double var_b = sum_b2 / n - (sum_b / n) * (sum_b / n);
+  EXPECT_LT(std::fabs(cov / std::sqrt(var_a * var_b)), 0.1);
+}
+
+TEST(UserChannel, SnrDbConsistent) {
+  UserChannel ch(test_config(), common::RngStream(6));
+  ch.advance_to(0.25);
+  EXPECT_NEAR(ch.snr_db(), common::to_db(ch.snr_linear()), 1e-12);
+}
+
+TEST(UserChannel, DeterministicGivenSeed) {
+  UserChannel a(test_config(), common::RngStream(7));
+  UserChannel b(test_config(), common::RngStream(7));
+  for (int i = 1; i <= 100; ++i) {
+    const double t = static_cast<double>(i) * 2.5e-3;
+    a.advance_to(t);
+    b.advance_to(t);
+    EXPECT_DOUBLE_EQ(a.snr_linear(), b.snr_linear());
+  }
+}
+
+TEST(ChannelConfig, DopplerForSpeed) {
+  // 50 km/h at 2 GHz: fd = v fc / c ~ 92.6 Hz.
+  const double fd = ChannelConfig::doppler_for_speed(
+      common::km_per_hour(50.0), 2.0e9);
+  EXPECT_NEAR(fd, 92.6, 0.5);
+  EXPECT_THROW(ChannelConfig::doppler_for_speed(-1.0, 2e9),
+               std::invalid_argument);
+  EXPECT_THROW(ChannelConfig::doppler_for_speed(10.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(UserChannel, HigherDopplerDecorrelatesFaster) {
+  auto slow_cfg = test_config();
+  slow_cfg.doppler_hz = 20.0;
+  auto fast_cfg = test_config();
+  fast_cfg.doppler_hz = 200.0;
+  UserChannel slow(slow_cfg, common::RngStream(8));
+  UserChannel fast(fast_cfg, common::RngStream(9));
+  double slow_diff = 0.0, fast_diff = 0.0;
+  double prev_slow = 0.0, prev_fast = 0.0;
+  for (int i = 1; i <= 20000; ++i) {
+    const double t = static_cast<double>(i) * 2.5e-3;
+    slow.advance_to(t);
+    fast.advance_to(t);
+    if (i > 1) {
+      slow_diff += std::fabs(slow.fading_power() - prev_slow);
+      fast_diff += std::fabs(fast.fading_power() - prev_fast);
+    }
+    prev_slow = slow.fading_power();
+    prev_fast = fast.fading_power();
+  }
+  EXPECT_LT(slow_diff, fast_diff);
+}
+
+}  // namespace
+}  // namespace charisma::channel

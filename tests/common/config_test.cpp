@@ -1,0 +1,74 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::common {
+namespace {
+
+TEST(Config, ParsesKeyValueArgs) {
+  auto cfg = KeyValueConfig::from_args({"alpha=1.5", "name=test", "n=42"});
+  EXPECT_EQ(cfg.size(), 3u);
+  EXPECT_EQ(cfg.get_string("name").value(), "test");
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha").value(), 1.5);
+  EXPECT_EQ(cfg.get_int("n").value(), 42);
+}
+
+TEST(Config, MalformedArgsThrow) {
+  EXPECT_THROW(KeyValueConfig::from_args({"noequals"}), std::invalid_argument);
+  EXPECT_THROW(KeyValueConfig::from_args({"=value"}), std::invalid_argument);
+}
+
+TEST(Config, LaterDuplicateWins) {
+  auto cfg = KeyValueConfig::from_args({"k=1", "k=2"});
+  EXPECT_EQ(cfg.get_int("k").value(), 2);
+}
+
+TEST(Config, MissingKeysReturnNullopt) {
+  KeyValueConfig cfg;
+  EXPECT_FALSE(cfg.get_string("missing").has_value());
+  EXPECT_FALSE(cfg.get_double("missing").has_value());
+  EXPECT_FALSE(cfg.get_int("missing").has_value());
+  EXPECT_FALSE(cfg.get_bool("missing").has_value());
+}
+
+TEST(Config, Fallbacks) {
+  KeyValueConfig cfg;
+  cfg.set("present", "7");
+  EXPECT_EQ(cfg.get_int_or("present", 1), 7);
+  EXPECT_EQ(cfg.get_int_or("absent", 1), 1);
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("absent", 2.5), 2.5);
+  EXPECT_EQ(cfg.get_string_or("absent", "d"), "d");
+  EXPECT_TRUE(cfg.get_bool_or("absent", true));
+}
+
+TEST(Config, BooleanSpellings) {
+  KeyValueConfig cfg;
+  for (const char* t : {"1", "true", "yes", "on", "TRUE", "Yes"}) {
+    cfg.set("b", t);
+    EXPECT_TRUE(cfg.get_bool("b").value()) << t;
+  }
+  for (const char* f : {"0", "false", "no", "off", "FALSE"}) {
+    cfg.set("b", f);
+    EXPECT_FALSE(cfg.get_bool("b").value()) << f;
+  }
+}
+
+TEST(Config, TypeErrorsThrow) {
+  KeyValueConfig cfg;
+  cfg.set("x", "notanumber");
+  EXPECT_THROW(cfg.get_double("x"), std::invalid_argument);
+  EXPECT_THROW(cfg.get_int("x"), std::invalid_argument);
+  EXPECT_THROW(cfg.get_bool("x"), std::invalid_argument);
+  cfg.set("y", "12abc");
+  EXPECT_THROW(cfg.get_int("y"), std::invalid_argument);
+}
+
+TEST(Config, Contains) {
+  KeyValueConfig cfg;
+  cfg.set("k", "v");
+  EXPECT_TRUE(cfg.contains("k"));
+  EXPECT_FALSE(cfg.contains("z"));
+}
+
+}  // namespace
+}  // namespace charisma::common

@@ -1,0 +1,49 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LoggingTest, OffByDefaultBlocksEverything) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+}
+
+TEST_F(LoggingTest, LevelGating) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+}
+
+TEST_F(LoggingTest, RoundTripLevel) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, MacroCompilesAndRespectsLevel) {
+  set_log_level(LogLevel::kWarn);
+  // Should not crash; the debug line's operands must not be evaluated when
+  // disabled (we use a counter to verify).
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  CHARISMA_LOG(LogLevel::kDebug) << count();
+  EXPECT_EQ(evaluations, 0);
+  CHARISMA_LOG(LogLevel::kWarn) << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace charisma::common

@@ -1,0 +1,146 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace charisma::common {
+namespace {
+
+TEST(RngSeed, SameInputsSameSeed) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+}
+
+TEST(RngSeed, DifferentStreamsDiffer) {
+  EXPECT_NE(derive_seed(42, 7), derive_seed(42, 8));
+  EXPECT_NE(derive_seed(42, 7), derive_seed(43, 7));
+}
+
+TEST(RngStream, Deterministic) {
+  RngStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngStream, DifferentSeedsDiverge) {
+  RngStream a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngStream, UniformBounds) {
+  RngStream rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, UniformRangeMean) {
+  RngStream rng(7);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(2.0, 6.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(RngStream, UniformIntCoversRange) {
+  RngStream rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(5))];
+  for (int c : counts) EXPECT_GT(c, 800);
+  EXPECT_THROW(rng.uniform_int(0), std::domain_error);
+}
+
+TEST(RngStream, BernoulliEdges) {
+  RngStream rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngStream, BernoulliRate) {
+  RngStream rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngStream, ExponentialMoments) {
+  RngStream rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(1.35);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.35, 0.02);
+  EXPECT_NEAR(var, 1.35 * 1.35, 0.08);
+  EXPECT_THROW(rng.exponential(0.0), std::domain_error);
+}
+
+TEST(RngStream, NormalMoments) {
+  RngStream rng(19);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 2.0, 0.03);
+}
+
+TEST(RngStream, RayleighMeanSquare) {
+  RngStream rng(23);
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.rayleigh_amplitude(2.5);
+    EXPECT_GE(x, 0.0);
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum2 / n, 2.5, 0.05);
+  EXPECT_THROW(rng.rayleigh_amplitude(0.0), std::domain_error);
+}
+
+TEST(RngStream, LognormalDbMedian) {
+  RngStream rng(29);
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.lognormal_db(3.0, 8.0) < std::pow(10.0, 0.3)) ++below;
+  }
+  // Median of the linear value is 10^(mean_db/10).
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(RngStream, PoissonMean) {
+  RngStream rng(31);
+  long sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(4.2);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 4.2, 0.05);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_THROW(rng.poisson(-1.0), std::domain_error);
+}
+
+TEST(RngStream, TwoArgConstructorMatchesDerivedSeed) {
+  RngStream a(derive_seed(10, 20));
+  RngStream b(10, 20);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+}  // namespace
+}  // namespace charisma::common

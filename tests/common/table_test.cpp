@@ -1,0 +1,74 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+namespace charisma::common {
+namespace {
+
+TEST(TextTable, FormatsTitleHeaderAndRows) {
+  TextTable table("My Table");
+  table.set_header({"x", "value"});
+  table.add_row({"1", "10.5"});
+  table.add_row({"2", "20.25"});
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("== My Table =="), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_NE(s.find("20.25"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, SciFormatting) {
+  const std::string s = TextTable::sci(0.00123, 2);
+  EXPECT_NE(s.find("1.23e"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table("t");
+  table.set_header({"a", "bbbb"});
+  table.add_row({"xxxxx", "y"});
+  std::ostringstream os;
+  table.print(os);
+  // Each data line must be the same length (column alignment).
+  std::istringstream in(os.str());
+  std::string line;
+  std::getline(in, line);  // title
+  std::getline(in, line);
+  const auto header_len = line.size();
+  std::getline(in, line);  // separator
+  std::getline(in, line);
+  EXPECT_EQ(line.size(), header_len);
+}
+
+TEST(TextTable, WritesCsv) {
+  TextTable table("t");
+  table.set_header({"x", "y"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  const std::string path = ::testing::TempDir() + "/charisma_table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(TextTable, CsvFailsOnBadPath) {
+  TextTable table("t");
+  EXPECT_FALSE(table.write_csv("/nonexistent_dir_zz/file.csv"));
+}
+
+}  // namespace
+}  // namespace charisma::common

@@ -1,0 +1,71 @@
+#include "core/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::core {
+namespace {
+
+TEST(Fairness, NoneModeIsIdentity) {
+  FairnessTracker tracker;
+  tracker.observe(1, 4.0);
+  EXPECT_DOUBLE_EQ(tracker.adjusted_throughput(1, 2.0, FairnessMode::kNone),
+                   2.0);
+}
+
+TEST(Fairness, FirstObservationSeedsAverage) {
+  FairnessTracker tracker;
+  tracker.observe(1, 3.0);
+  EXPECT_DOUBLE_EQ(tracker.average(1), 3.0);
+}
+
+TEST(Fairness, EwmaConverges) {
+  FairnessTracker tracker(0.1);
+  tracker.observe(1, 0.0);
+  for (int i = 0; i < 200; ++i) tracker.observe(1, 4.0);
+  EXPECT_NEAR(tracker.average(1), 4.0, 0.01);
+}
+
+TEST(Fairness, NormalizedModeRewardsPersonalPeaks) {
+  FairnessTracker tracker(0.5);
+  // A cell-edge user averaging 1 bit/sym at a momentary 2 bit/sym...
+  for (int i = 0; i < 50; ++i) tracker.observe(1, 1.0);
+  // ...must outrank a cell-center user averaging 4 at a momentary 4.
+  for (int i = 0; i < 50; ++i) tracker.observe(2, 4.0);
+  const double edge = tracker.adjusted_throughput(
+      1, 2.0, FairnessMode::kCapacityNormalized);
+  const double center = tracker.adjusted_throughput(
+      2, 4.0, FairnessMode::kCapacityNormalized);
+  EXPECT_GT(edge, center);
+}
+
+TEST(Fairness, AtPersonalAverageScoresMidLadder) {
+  FairnessTracker tracker(0.5);
+  for (int i = 0; i < 50; ++i) tracker.observe(7, 3.0);
+  EXPECT_NEAR(tracker.adjusted_throughput(7, 3.0,
+                                          FairnessMode::kCapacityNormalized),
+              2.5, 1e-9);
+}
+
+TEST(Fairness, UnknownUserFallsBackToRaw) {
+  FairnessTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.adjusted_throughput(
+                       99, 3.5, FairnessMode::kCapacityNormalized),
+                   3.5);
+  EXPECT_DOUBLE_EQ(tracker.average(99), 0.0);
+}
+
+TEST(Fairness, ResetForgets) {
+  FairnessTracker tracker;
+  tracker.observe(1, 5.0);
+  tracker.reset();
+  EXPECT_DOUBLE_EQ(tracker.average(1), 0.0);
+}
+
+TEST(Fairness, SmoothingValidation) {
+  EXPECT_THROW(FairnessTracker(0.0), std::invalid_argument);
+  EXPECT_THROW(FairnessTracker(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(FairnessTracker(1.0));
+}
+
+}  // namespace
+}  // namespace charisma::core

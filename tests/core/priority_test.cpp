@@ -1,0 +1,104 @@
+#include "core/priority.hpp"
+
+#include <gtest/gtest.h>
+#include <limits>
+
+namespace charisma::core {
+namespace {
+
+constexpr double kFrame = 2.5e-3;
+
+mac::PendingRequest voice_request(double deadline) {
+  mac::PendingRequest r;
+  r.user = 1;
+  r.type = mac::RequestType::kVoice;
+  r.deadline = deadline;
+  return r;
+}
+
+mac::PendingRequest data_request(int waited) {
+  mac::PendingRequest r;
+  r.user = 2;
+  r.type = mac::RequestType::kData;
+  r.deadline = std::numeric_limits<double>::infinity();
+  r.frames_waited = waited;
+  return r;
+}
+
+TEST(FramesToDeadline, BasicAndClamped) {
+  EXPECT_EQ(frames_to_deadline(0.02, 0.0, kFrame), 8);
+  EXPECT_EQ(frames_to_deadline(0.02, 0.0175, kFrame), 1);
+  // Past deadlines clamp to 1 (requests are purged before this matters).
+  EXPECT_EQ(frames_to_deadline(0.0, 1.0, kFrame), 1);
+}
+
+TEST(Priority, VoiceOffsetDominatesData) {
+  PriorityWeights w;
+  // Worst-case voice (no CSI, far deadline) still beats the best data
+  // request with default weights while the data wait is short.
+  const double v = request_priority(voice_request(0.02), 0.0, 0.0, kFrame, w);
+  const double d = request_priority(data_request(0), 5.0, 0.0, kFrame, w);
+  EXPECT_GT(v, d);
+}
+
+TEST(Priority, UrgencyRaisesVoicePriority) {
+  PriorityWeights w;
+  const double far = request_priority(voice_request(0.02), 2.0, 0.0, kFrame, w);
+  const double near =
+      request_priority(voice_request(0.02), 2.0, 0.0175, kFrame, w);
+  EXPECT_GT(near, far);
+}
+
+TEST(Priority, CsiRaisesPriorityLinearly) {
+  PriorityWeights w;
+  const auto r = voice_request(0.02);
+  const double p1 = request_priority(r, 1.0, 0.0, kFrame, w);
+  const double p3 = request_priority(r, 3.0, 0.0, kFrame, w);
+  const double p5 = request_priority(r, 5.0, 0.0, kFrame, w);
+  EXPECT_NEAR(p3 - p1, p5 - p3, 1e-12);
+  EXPECT_GT(p3, p1);
+}
+
+TEST(Priority, WaitingRaisesDataPriority) {
+  PriorityWeights w;
+  const double fresh = request_priority(data_request(0), 2.0, 0.0, kFrame, w);
+  const double waited =
+      request_priority(data_request(200), 2.0, 0.0, kFrame, w);
+  EXPECT_GT(waited, fresh);
+  EXPECT_NEAR(waited - fresh, w.gamma_data * 200, 1e-12);
+}
+
+TEST(Priority, GoodCsiDataCanPassOutageVoiceWhenOffsetSmall) {
+  PriorityWeights w;
+  w.voice_offset = 1.0;
+  const double v = request_priority(voice_request(0.02), 0.0, 0.0, kFrame, w);
+  const double d = request_priority(data_request(0), 5.0, 0.0, kFrame, w);
+  EXPECT_GT(d, v);
+}
+
+TEST(Priority, WeightKnobsScaleTerms) {
+  PriorityWeights w;
+  w.alpha_voice = 0.0;
+  const auto r = voice_request(0.02);
+  EXPECT_DOUBLE_EQ(request_priority(r, 1.0, 0.0, kFrame, w),
+                   request_priority(r, 5.0, 0.0, kFrame, w));
+  w = PriorityWeights{};
+  w.gamma_voice = 0.0;
+  EXPECT_DOUBLE_EQ(
+      request_priority(voice_request(0.02), 2.0, 0.0, kFrame, w),
+      request_priority(voice_request(0.02), 2.0, 0.0175, kFrame, w));
+}
+
+TEST(Priority, UrgentOutageVoiceBeatsMidDeadlineMidCsiVoice) {
+  // The fairness property of Eq. (2): a user at its deadline gets served
+  // even with a poor channel, ahead of comfortable mid-CSI users.
+  PriorityWeights w;
+  const double urgent_outage =
+      request_priority(voice_request(0.02), 0.0, 0.0175, kFrame, w);
+  const double relaxed_mid =
+      request_priority(voice_request(0.02), 2.0, 0.01, kFrame, w);
+  EXPECT_GT(urgent_outage, relaxed_mid);
+}
+
+}  // namespace
+}  // namespace charisma::core

@@ -1,0 +1,82 @@
+#include "experiment/handoff_study.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::experiment {
+namespace {
+
+HandoffConfig two_station_config() {
+  HandoffConfig cfg;
+  cfg.num_stations = 2;
+  cfg.channel.mean_snr_db = 10.0;
+  cfg.channel.shadow_sigma_db = 6.0;  // strong shadowing: handoffs matter
+  cfg.station_offset_db = {0.0, 0.0};
+  return cfg;
+}
+
+TEST(Handoff, StrongestPilotBeatsStaticAttachment) {
+  const auto cfg = two_station_config();
+  const auto fixed = run_handoff_study(cfg, AttachmentPolicy::kNearest,
+                                       60.0, 1);
+  const auto adaptive = run_handoff_study(
+      cfg, AttachmentPolicy::kStrongestPilot, 60.0, 1);
+  EXPECT_GT(adaptive.mean_snr_db, fixed.mean_snr_db);
+  EXPECT_LE(adaptive.outage_fraction, fixed.outage_fraction);
+}
+
+TEST(Handoff, NearestPolicyNeverHandsOff) {
+  const auto result = run_handoff_study(two_station_config(),
+                                        AttachmentPolicy::kNearest, 20.0, 2);
+  EXPECT_DOUBLE_EQ(result.handoffs_per_second, 0.0);
+}
+
+TEST(Handoff, StrongestPilotHandsOffOccasionally) {
+  const auto result = run_handoff_study(
+      two_station_config(), AttachmentPolicy::kStrongestPilot, 60.0, 3);
+  EXPECT_GT(result.handoffs_per_second, 0.0);
+  // Hysteresis keeps the rate civilized (well below one per second).
+  EXPECT_LT(result.handoffs_per_second, 5.0);
+}
+
+TEST(Handoff, HysteresisReducesHandoffRate) {
+  auto cfg = two_station_config();
+  cfg.hysteresis_db = 0.5;
+  const auto eager = run_handoff_study(
+      cfg, AttachmentPolicy::kStrongestPilot, 60.0, 4);
+  cfg.hysteresis_db = 6.0;
+  const auto reluctant = run_handoff_study(
+      cfg, AttachmentPolicy::kStrongestPilot, 60.0, 4);
+  EXPECT_GT(eager.handoffs_per_second, reluctant.handoffs_per_second);
+}
+
+TEST(Handoff, AsymmetricOffsetsFavorStrongStation) {
+  auto cfg = two_station_config();
+  cfg.station_offset_db = {0.0, 6.0};
+  const auto result = run_handoff_study(
+      cfg, AttachmentPolicy::kStrongestPilot, 60.0, 5);
+  // Attached mostly to the +6 dB station: mean must exceed the weak one's.
+  EXPECT_GT(result.mean_snr_db, 11.0);
+}
+
+TEST(Handoff, Deterministic) {
+  const auto a = run_handoff_study(two_station_config(),
+                                   AttachmentPolicy::kStrongestPilot, 30.0, 9);
+  const auto b = run_handoff_study(two_station_config(),
+                                   AttachmentPolicy::kStrongestPilot, 30.0, 9);
+  EXPECT_DOUBLE_EQ(a.mean_snr_db, b.mean_snr_db);
+  EXPECT_DOUBLE_EQ(a.handoffs_per_second, b.handoffs_per_second);
+}
+
+TEST(Handoff, Validation) {
+  auto cfg = two_station_config();
+  cfg.num_stations = 0;
+  EXPECT_THROW(run_handoff_study(cfg, AttachmentPolicy::kNearest, 10.0, 1),
+               std::invalid_argument);
+  cfg = two_station_config();
+  cfg.station_offset_db = {0.0};  // size mismatch
+  EXPECT_THROW(run_handoff_study(cfg, AttachmentPolicy::kNearest, 10.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace charisma::experiment

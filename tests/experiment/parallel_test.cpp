@@ -1,0 +1,72 @@
+#include "experiment/parallel.hpp"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <stdexcept>
+
+namespace charisma::experiment {
+namespace {
+
+TEST(Parallel, RunsAllJobs) {
+  ParallelRunner runner(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 100; ++i) {
+    jobs.push_back([&counter] { counter.fetch_add(1); });
+  }
+  runner.run(jobs);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Parallel, EmptyJobListIsNoop) {
+  ParallelRunner runner(2);
+  EXPECT_NO_THROW(runner.run({}));
+}
+
+TEST(Parallel, DefaultsToHardwareConcurrency) {
+  ParallelRunner runner(0);
+  EXPECT_GE(runner.thread_count(), 1u);
+}
+
+TEST(Parallel, EachJobRunsExactlyOnce) {
+  ParallelRunner runner(3);
+  std::vector<std::atomic<int>> counts(50);
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 50; ++i) {
+    jobs.push_back([&counts, i] { counts[static_cast<std::size_t>(i)].fetch_add(1); });
+  }
+  runner.run(jobs);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, ExceptionPropagates) {
+  ParallelRunner runner(2);
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(runner.run(jobs), std::runtime_error);
+  // Remaining jobs still ran.
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(Parallel, SingleThreadWorks) {
+  ParallelRunner runner(1);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> jobs(20, [&counter] { counter.fetch_add(1); });
+  runner.run(jobs);
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(Parallel, MoreThreadsThanJobs) {
+  ParallelRunner runner(16);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> jobs(3, [&counter] { counter.fetch_add(1); });
+  runner.run(jobs);
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace charisma::experiment

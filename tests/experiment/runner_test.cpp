@@ -1,0 +1,77 @@
+#include "experiment/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/scenarios.hpp"
+
+namespace charisma::experiment {
+namespace {
+
+RunSpec small_spec(int voice, int data) {
+  RunSpec spec;
+  spec.params = ::charisma::testing::small_mixed(voice, data);
+  spec.warmup_s = 1.0;
+  spec.measure_s = 3.0;
+  spec.replications = 2;
+  return spec;
+}
+
+TEST(Runner, ReplicationSeedsDiffer) {
+  const auto s0 = replication_seed(1, 0, 0);
+  const auto s1 = replication_seed(1, 0, 1);
+  const auto s2 = replication_seed(1, 1, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, s2);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(Runner, SeedsAreProtocolIndependent) {
+  // Common random numbers: the seed depends only on (base, point, rep).
+  EXPECT_EQ(replication_seed(42, 3, 1), replication_seed(42, 3, 1));
+}
+
+TEST(Runner, AggregatesAcrossReplications) {
+  const auto result =
+      run_replications(protocols::ProtocolId::kCharisma, small_spec(10, 2));
+  EXPECT_EQ(result.replications, 2);
+  EXPECT_EQ(result.voice_loss.count(), 2);
+  EXPECT_EQ(result.protocol, "CHARISMA");
+  EXPECT_EQ(result.num_voice_users, 10);
+  EXPECT_EQ(result.num_data_users, 2);
+  EXPECT_GT(result.voice_loss_pooled.trials(), 0);
+}
+
+TEST(Runner, CommonRandomNumbersAcrossProtocols) {
+  // Same point key => both protocols simulate the same user worlds, so the
+  // generated-traffic counts match closely.
+  auto spec = small_spec(10, 0);
+  spec.replications = 1;
+  const auto a =
+      run_replications(protocols::ProtocolId::kDtdmaFr, spec, /*point=*/7);
+  const auto b =
+      run_replications(protocols::ProtocolId::kRama, spec, /*point=*/7);
+  EXPECT_GT(a.voice_loss_pooled.trials(), 100);
+  EXPECT_NEAR(static_cast<double>(a.voice_loss_pooled.trials()),
+              static_cast<double>(b.voice_loss_pooled.trials()),
+              0.02 * static_cast<double>(a.voice_loss_pooled.trials()));
+}
+
+TEST(Runner, ResultAddComputesDerivedMetrics) {
+  ReplicatedResult result;
+  mac::ProtocolMetrics m;
+  m.frames = 100;
+  m.voice_generated = 1000;
+  m.voice_delivered = 990;
+  m.voice_dropped_deadline = 6;
+  m.voice_error_lost = 4;
+  m.data_delivered = 250;
+  result.add(m);
+  EXPECT_EQ(result.replications, 1);
+  EXPECT_DOUBLE_EQ(result.voice_loss.mean(), 0.01);
+  EXPECT_DOUBLE_EQ(result.data_throughput.mean(), 2.5);
+  EXPECT_EQ(result.voice_loss_pooled.successes(), 10);
+  EXPECT_EQ(result.voice_loss_pooled.trials(), 1000);
+}
+
+}  // namespace
+}  // namespace charisma::experiment

@@ -1,0 +1,83 @@
+// Conservation invariants: every generated packet is accounted for. These
+// run across all six protocols on one mixed scenario — the strongest
+// cross-cutting correctness check in the suite.
+#include <gtest/gtest.h>
+
+#include "../support/scenarios.hpp"
+#include "protocols/factory.hpp"
+
+namespace charisma {
+namespace {
+
+using protocols::ProtocolId;
+using ::charisma::testing::small_mixed;
+
+class ConservationTest : public ::testing::TestWithParam<ProtocolId> {};
+
+TEST_P(ConservationTest, VoicePacketsFullyAccounted) {
+  auto engine = protocols::make_protocol(GetParam(), small_mixed(20, 5));
+  const auto& m = engine->run(2.0, 6.0);
+  ASSERT_GT(m.voice_generated, 0);
+  // Delivered + error-lost + deadline-dropped never exceeds generated...
+  EXPECT_LE(m.voice_delivered + m.voice_error_lost + m.voice_dropped_deadline,
+            m.voice_generated + 20);  // +N_v: packets pending at window edges
+  // ...and misses it by at most one in-flight packet per voice user.
+  EXPECT_GE(m.voice_delivered + m.voice_error_lost + m.voice_dropped_deadline,
+            m.voice_generated - 20);
+}
+
+TEST_P(ConservationTest, DataPacketsFullyAccounted) {
+  // Zero warmup: the measurement window sees every packet from the empty
+  // initial state, so the conservation bound is exact.
+  auto engine = protocols::make_protocol(GetParam(), small_mixed(5, 5));
+  const auto& m = engine->run(0.0, 8.0);
+  ASSERT_GT(m.data_generated, 0);
+  // Data is never dropped, only delivered or still queued.
+  EXPECT_LE(m.data_delivered, m.data_generated);
+  // Every attempt is a delivery or a retransmission.
+  EXPECT_EQ(m.data_tx_attempts, m.data_delivered + m.data_retransmissions);
+}
+
+TEST_P(ConservationTest, DelaySamplesMatchDeliveries) {
+  auto engine = protocols::make_protocol(GetParam(), small_mixed(0, 5));
+  const auto& m = engine->run(2.0, 6.0);
+  EXPECT_EQ(m.data_delay_s.count(), m.data_delivered);
+  if (m.data_delivered > 0) {
+    EXPECT_GE(m.data_delay_s.min(), 0.0);
+  }
+}
+
+TEST_P(ConservationTest, SlotAccountingBounds) {
+  auto engine = protocols::make_protocol(GetParam(), small_mixed(20, 5));
+  const auto& m = engine->run(2.0, 6.0);
+  EXPECT_LE(m.info_slots_assigned, m.info_slots_offered);
+  EXPECT_LE(m.info_slots_wasted, m.info_slots_assigned);
+  EXPECT_GE(m.info_slots_offered, 0);
+}
+
+TEST_P(ConservationTest, ContentionTallyConsistent) {
+  auto engine = protocols::make_protocol(GetParam(), small_mixed(20, 5));
+  const auto& m = engine->run(2.0, 6.0);
+  EXPECT_EQ(m.request_slots,
+            m.request_successes + m.request_collisions + m.request_idle);
+}
+
+TEST_P(ConservationTest, MeasurementWindowMatchesRequest) {
+  auto engine = protocols::make_protocol(GetParam(), small_mixed(5, 2));
+  const auto& m = engine->run(2.0, 6.0);
+  EXPECT_GT(m.frames, 0);
+  EXPECT_NEAR(m.measured_time, 6.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ConservationTest,
+    ::testing::ValuesIn(protocols::all_protocols()),
+    [](const ::testing::TestParamInfo<ProtocolId>& info) {
+      std::string name = protocols::protocol_name(info.param);
+      std::erase_if(name, [](char c) { return !std::isalnum(
+          static_cast<unsigned char>(c)); });
+      return name;
+    });
+
+}  // namespace
+}  // namespace charisma

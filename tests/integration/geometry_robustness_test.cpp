@@ -1,0 +1,100 @@
+// Geometry robustness: every protocol must function and keep its
+// accounting invariants under unusual frame geometries — tiny slot
+// budgets, oversized request phases, long voice periods — not just the
+// calibrated defaults.
+#include <gtest/gtest.h>
+#include <tuple>
+
+#include "../support/scenarios.hpp"
+#include "protocols/factory.hpp"
+
+namespace charisma {
+namespace {
+
+using protocols::ProtocolId;
+
+struct GeometryCase {
+  const char* name;
+  int request_slots;
+  int info_slots;
+  int pilot_slots;
+  int frames_per_voice_period;
+};
+
+const GeometryCase kGeometries[] = {
+    {"tiny", 3, 2, 1, 8},
+    {"wide", 24, 16, 8, 8},
+    {"long_period", 12, 10, 4, 16},
+    {"no_pilots", 12, 10, 0, 8},
+};
+
+using RobustnessParam = std::tuple<ProtocolId, int /*geometry index*/>;
+
+class GeometryRobustness : public ::testing::TestWithParam<RobustnessParam> {};
+
+TEST_P(GeometryRobustness, RunsAndConserves) {
+  const auto [id, geometry_index] = GetParam();
+  const auto& geometry = kGeometries[static_cast<std::size_t>(geometry_index)];
+
+  auto params = testing::small_mixed(12, 4, true, 31);
+  params.geometry.num_request_slots = geometry.request_slots;
+  params.geometry.num_info_slots = geometry.info_slots;
+  params.geometry.num_pilot_slots = geometry.pilot_slots;
+  params.geometry.frames_per_voice_period = geometry.frames_per_voice_period;
+
+  auto engine = protocols::make_protocol(id, params);
+  const auto& m = engine->run(1.0, 3.0);
+
+  EXPECT_GT(m.frames, 0);
+  EXPECT_GT(m.voice_generated, 0);
+  EXPECT_LE(m.info_slots_assigned, m.info_slots_offered);
+  EXPECT_LE(m.info_slots_wasted, m.info_slots_assigned);
+  EXPECT_EQ(m.data_tx_attempts, m.data_delivered + m.data_retransmissions);
+  EXPECT_GE(m.voice_loss_rate(), 0.0);
+  EXPECT_LE(m.voice_loss_rate(), 1.0);
+  // Something must be deliverable even on the tiny geometry at this small
+  // population.
+  EXPECT_GT(m.voice_delivered + m.data_delivered, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeometryRobustness,
+    ::testing::Combine(::testing::ValuesIn(protocols::all_protocols()),
+                       ::testing::Values(0, 1, 2, 3)),
+    [](const ::testing::TestParamInfo<RobustnessParam>& info) {
+      std::string name = protocols::protocol_name(std::get<0>(info.param));
+      std::erase_if(name, [](char c) {
+        return !std::isalnum(static_cast<unsigned char>(c));
+      });
+      return name + "_" +
+             kGeometries[static_cast<std::size_t>(std::get<1>(info.param))]
+                 .name;
+    });
+
+TEST(GeometryRobustness, RmavFrameDurationBounded) {
+  // RMAV frames are bounded by n * Pmax slots (paper Sec. 3.2); the mean
+  // frame duration over a saturated run must respect it.
+  auto params = testing::small_mixed(0, 20, true, 33);
+  auto engine = protocols::make_protocol(ProtocolId::kRmav, params);
+  const auto& m = engine->run(2.0, 6.0);
+  const double mean_frame =
+      m.measured_time / static_cast<double>(m.frames);
+  const double slot = 160.0 / params.geometry.symbol_rate();
+  EXPECT_LE(mean_frame, 20.0 * 10.0 * slot + slot);
+}
+
+TEST(GeometryRobustness, VoicePeriodScalesDeadlines) {
+  // Doubling the voice period halves the per-period pressure: a lone user
+  // should still lose nothing.
+  auto params = testing::ideal_channel(1, 0);
+  params.geometry.frames_per_voice_period = 16;  // 40 ms period/deadline
+  auto engine = protocols::make_protocol(ProtocolId::kCharisma, params);
+  const auto& m = engine->run(2.0, 12.0);
+  // A single on-off source over 12 s: a handful of talkspurts.
+  EXPECT_GT(m.voice_generated, 10);
+  EXPECT_EQ(m.voice_dropped_deadline, 0);
+  EXPECT_EQ(m.voice_error_lost, 0);
+}
+
+}  // namespace
+}  // namespace charisma

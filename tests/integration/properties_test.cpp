@@ -1,0 +1,126 @@
+// Property-style sweeps: invariants that must hold for every protocol at
+// every (seed, load, queue) combination.
+#include <gtest/gtest.h>
+#include <tuple>
+
+#include "../support/scenarios.hpp"
+#include "protocols/factory.hpp"
+
+namespace charisma {
+namespace {
+
+using protocols::ProtocolId;
+using ::charisma::testing::small_mixed;
+
+using PropertyParam = std::tuple<ProtocolId, int /*voice*/, int /*data*/,
+                                 bool /*queue*/, int /*seed*/>;
+
+class ProtocolProperties : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(ProtocolProperties, InvariantsHold) {
+  const auto [id, voice, data, queue, seed] = GetParam();
+  auto engine = protocols::make_protocol(
+      id, small_mixed(voice, data, queue, static_cast<std::uint64_t>(seed)));
+  const auto& m = engine->run(1.5, 4.0);
+
+  // Rates are probabilities.
+  EXPECT_GE(m.voice_loss_rate(), 0.0);
+  EXPECT_LE(m.voice_loss_rate(), 1.0);
+  EXPECT_GE(m.slot_utilization(), 0.0);
+  EXPECT_LE(m.slot_utilization(), 1.0 + 1e-12);
+  EXPECT_GE(m.request_success_ratio(), 0.0);
+  EXPECT_LE(m.request_success_ratio(), 1.0 + 1e-12);
+
+  // Loss decomposition.
+  EXPECT_NEAR(m.voice_loss_rate(), m.voice_drop_rate() + m.voice_error_rate(),
+              1e-12);
+
+  // Throughput cannot exceed the adaptive ceiling: 11 slots x 5 packets.
+  EXPECT_LE(m.data_throughput_per_frame(), 55.0);
+
+  // Counters are non-negative and consistent. (delivered can exceed
+  // generated within the measurement window when a warmup backlog drains,
+  // so that bound lives in conservation_test with zero warmup.)
+  EXPECT_GE(m.voice_generated, 0);
+  EXPECT_GE(m.data_generated, 0);
+  EXPECT_EQ(m.data_tx_attempts, m.data_delivered + m.data_retransmissions);
+  EXPECT_LE(m.info_slots_assigned, m.info_slots_offered);
+  EXPECT_LE(m.info_slots_wasted, m.info_slots_assigned);
+
+  // Delays are causal.
+  if (m.data_delay_s.count() > 0) {
+    EXPECT_GE(m.data_delay_s.min(), -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolProperties,
+    ::testing::Combine(
+        ::testing::ValuesIn(protocols::all_protocols()),
+        ::testing::Values(0, 10, 40),
+        ::testing::Values(0, 8),
+        ::testing::Bool(),
+        ::testing::Values(1, 2)),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      std::string name = protocols::protocol_name(std::get<0>(info.param));
+      std::erase_if(name, [](char c) {
+        return !std::isalnum(static_cast<unsigned char>(c));
+      });
+      return name + "_v" + std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) ? "_q" : "_nq") + "_s" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+class LoadMonotonicity : public ::testing::TestWithParam<ProtocolId> {};
+
+TEST_P(LoadMonotonicity, VoiceLossGrowsWithLoad) {
+  // Statistical monotonicity: far-apart load points must order correctly.
+  auto low_params = small_mixed(10, 0, true, 3);
+  auto high_params = small_mixed(110, 0, true, 3);
+  auto low = protocols::make_protocol(GetParam(), low_params);
+  auto high = protocols::make_protocol(GetParam(), high_params);
+  const double loss_low = low->run(4.0, 8.0).voice_loss_rate();
+  const double loss_high = high->run(4.0, 8.0).voice_loss_rate();
+  EXPECT_LE(loss_low, loss_high + 5e-3)
+      << "low=" << loss_low << " high=" << loss_high;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, LoadMonotonicity,
+    ::testing::ValuesIn(protocols::all_protocols()),
+    [](const ::testing::TestParamInfo<ProtocolId>& info) {
+      std::string name = protocols::protocol_name(info.param);
+      std::erase_if(name, [](char c) {
+        return !std::isalnum(static_cast<unsigned char>(c));
+      });
+      return name;
+    });
+
+class SeedStability : public ::testing::TestWithParam<ProtocolId> {};
+
+TEST_P(SeedStability, ResultsVaryAcrossSeedsButStayClose) {
+  // Different seeds must produce different realizations (the RNG plumbing
+  // is alive) whose headline metrics agree within statistical noise.
+  auto a = protocols::make_protocol(GetParam(), small_mixed(30, 5, true, 1));
+  auto b = protocols::make_protocol(GetParam(), small_mixed(30, 5, true, 2));
+  const auto& ma = a->run(2.0, 6.0);
+  const auto& mb = b->run(2.0, 6.0);
+  EXPECT_NE(ma.voice_generated, mb.voice_generated);
+  EXPECT_NEAR(ma.data_throughput_per_frame(), mb.data_throughput_per_frame(),
+              0.5 * std::max(1.0, ma.data_throughput_per_frame()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, SeedStability,
+    ::testing::ValuesIn(protocols::all_protocols()),
+    [](const ::testing::TestParamInfo<ProtocolId>& info) {
+      std::string name = protocols::protocol_name(info.param);
+      std::erase_if(name, [](char c) {
+        return !std::isalnum(static_cast<unsigned char>(c));
+      });
+      return name;
+    });
+
+}  // namespace
+}  // namespace charisma

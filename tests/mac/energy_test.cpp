@@ -1,0 +1,140 @@
+#include "mac/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/scenarios.hpp"
+#include "protocols/factory.hpp"
+
+namespace charisma::mac {
+namespace {
+
+using protocols::ProtocolId;
+using ::charisma::testing::ideal_channel;
+using ::charisma::testing::outage_channel;
+using ::charisma::testing::small_mixed;
+
+TEST(EnergyModel, BurstEnergyScales) {
+  EnergyModel model;
+  model.tx_power_w = 2.0;
+  // 1000 symbols at 1 Msym/s = 1 ms at 2 W = 2 mJ.
+  EXPECT_NEAR(model.burst_energy_j(1000.0, 1e6), 2e-3, 1e-12);
+  EXPECT_NEAR(model.burst_energy_j(0.0, 1e6), 0.0, 1e-15);
+}
+
+TEST(Energy, IdealChannelWastesAlmostNothing) {
+  auto engine = protocols::make_protocol(ProtocolId::kCharisma,
+                                         ideal_channel(10, 2));
+  const auto& m = engine->run(2.0, 5.0);
+  EXPECT_GT(m.total_energy_j(), 0.0);
+  // Only collided request minislots can be wasted on a perfect channel.
+  EXPECT_LT(m.energy_waste_ratio(), 0.05);
+}
+
+TEST(Energy, DeadChannelWastesEverythingItSpends) {
+  // The fixed PHY transmits blindly into the dead channel: all info-slot
+  // energy is wasted — the paper's motivation 2 in its purest form.
+  auto engine = protocols::make_protocol(ProtocolId::kDtdmaFr,
+                                         outage_channel(10, 0));
+  const auto& m = engine->run(2.0, 5.0);
+  ASSERT_GT(m.energy_info_j, 0.0);
+  EXPECT_GT(m.energy_waste_ratio(), 0.9);
+}
+
+TEST(Energy, AdaptivePhyStaysSilentInOutage) {
+  // D-TDMA/VR detects the outage and never keys the transmitter in its
+  // reserved slots: info-slot energy stays zero.
+  auto engine = protocols::make_protocol(ProtocolId::kDtdmaVr,
+                                         outage_channel(10, 0));
+  const auto& m = engine->run(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(m.energy_info_j, 0.0);
+}
+
+TEST(Energy, CharismaBeatsFixedPhyPerPacket) {
+  const auto params = small_mixed(80, 5, true, 21);
+  auto charisma_eng = protocols::make_protocol(ProtocolId::kCharisma, params);
+  auto fr = protocols::make_protocol(ProtocolId::kDtdmaFr, params);
+  const auto& mc = charisma_eng->run(3.0, 8.0);
+  const auto& mf = fr->run(3.0, 8.0);
+  EXPECT_LT(mc.energy_waste_ratio(), mf.energy_waste_ratio());
+  EXPECT_LT(mc.energy_per_delivered_packet_mj(),
+            mf.energy_per_delivered_packet_mj());
+}
+
+TEST(Energy, PilotEnergyOnlyForCharismaPolling) {
+  const auto params = small_mixed(40, 0, true, 23);
+  auto charisma_eng = protocols::make_protocol(ProtocolId::kCharisma, params);
+  auto rama = protocols::make_protocol(ProtocolId::kRama, params);
+  const auto& mc = charisma_eng->run(3.0, 6.0);
+  const auto& mr = rama->run(3.0, 6.0);
+  EXPECT_GT(mc.energy_pilot_j, 0.0);
+  EXPECT_DOUBLE_EQ(mr.energy_pilot_j, 0.0);
+}
+
+TEST(Energy, ComponentsSumToTotal) {
+  auto engine = protocols::make_protocol(ProtocolId::kCharisma,
+                                         small_mixed(30, 5));
+  const auto& m = engine->run(2.0, 5.0);
+  EXPECT_NEAR(m.total_energy_j(),
+              m.energy_request_j + m.energy_info_j + m.energy_pilot_j, 1e-12);
+  EXPECT_LE(m.energy_wasted_j, m.total_energy_j() + 1e-12);
+  EXPECT_GE(m.energy_wasted_j, 0.0);
+}
+
+TEST(Energy, ZeroPowerMeansZeroEnergy) {
+  auto params = small_mixed(10, 2);
+  params.energy.tx_power_w = 0.0;
+  auto engine = protocols::make_protocol(ProtocolId::kCharisma, params);
+  const auto& m = engine->run(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.total_energy_j(), 0.0);
+}
+
+TEST(Energy, EveryProtocolAccountsEnergy) {
+  for (auto id : protocols::all_protocols()) {
+    auto engine = protocols::make_protocol(id, small_mixed(20, 5));
+    const auto& m = engine->run(1.5, 4.0);
+    EXPECT_GT(m.total_energy_j(), 0.0) << protocols::protocol_name(id);
+    EXPECT_LE(m.energy_wasted_j, m.total_energy_j() + 1e-12)
+        << protocols::protocol_name(id);
+  }
+}
+
+TEST(AckLoss, LostAcksAreCountedAndRetried) {
+  auto params = small_mixed(30, 5, true, 25);
+  params.ack_loss_prob = 0.3;
+  auto engine = protocols::make_protocol(ProtocolId::kCharisma, params);
+  const auto& m = engine->run(2.0, 6.0);
+  EXPECT_GT(m.acks_lost, 0);
+  // The system keeps functioning (devices retry on timeout).
+  EXPECT_GT(m.voice_delivered, 0);
+}
+
+TEST(AckLoss, OffByDefault) {
+  auto engine = protocols::make_protocol(ProtocolId::kDtdmaFr,
+                                         small_mixed(30, 5));
+  const auto& m = engine->run(2.0, 5.0);
+  EXPECT_EQ(m.acks_lost, 0);
+}
+
+TEST(AckLoss, DegradesServiceMonotonically) {
+  auto clean = small_mixed(60, 0, true, 27);
+  auto lossy = clean;
+  lossy.ack_loss_prob = 0.5;
+  auto a = protocols::make_protocol(ProtocolId::kDtdmaFr, clean);
+  auto b = protocols::make_protocol(ProtocolId::kDtdmaFr, lossy);
+  const double loss_clean = a->run(3.0, 8.0).voice_loss_rate();
+  const double loss_lossy = b->run(3.0, 8.0).voice_loss_rate();
+  EXPECT_GT(loss_lossy, loss_clean);
+}
+
+TEST(AckLoss, InvalidProbabilityRejected) {
+  auto params = small_mixed(5, 0);
+  params.ack_loss_prob = 1.0;
+  EXPECT_THROW(protocols::make_protocol(ProtocolId::kCharisma, params),
+               std::invalid_argument);
+  params.ack_loss_prob = -0.1;
+  EXPECT_THROW(protocols::make_protocol(ProtocolId::kCharisma, params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace charisma::mac

@@ -1,0 +1,48 @@
+#include "mac/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::mac {
+namespace {
+
+TEST(Geometry, DefaultBudget) {
+  FrameGeometry g;
+  EXPECT_TRUE(g.valid());
+  // 12 minislots + 10 info slots + 4 pilot minislots.
+  EXPECT_EQ(g.frame_symbols(), 12 * 16 + 10 * 160 + 4 * 16);
+  EXPECT_NEAR(g.symbol_rate(), g.frame_symbols() / 2.5e-3, 1e-6);
+}
+
+TEST(Geometry, VoicePeriodIsEightFrames) {
+  FrameGeometry g;
+  EXPECT_NEAR(g.voice_period(), 0.02, 1e-12);
+}
+
+TEST(Geometry, SlotDurations) {
+  FrameGeometry g;
+  EXPECT_NEAR(g.slot_duration() * g.symbol_rate(), 160.0, 1e-9);
+  EXPECT_NEAR(g.minislot_duration() * g.symbol_rate(), 16.0, 1e-9);
+  // All subframes fit exactly in the frame.
+  EXPECT_NEAR(g.num_request_slots * g.minislot_duration() +
+                  g.num_info_slots * g.slot_duration() +
+                  g.num_pilot_slots * g.minislot_duration(),
+              g.frame_duration, 1e-12);
+}
+
+TEST(Geometry, ValidityChecks) {
+  FrameGeometry g;
+  g.num_info_slots = 0;
+  EXPECT_FALSE(g.valid());
+  g = FrameGeometry{};
+  g.frame_duration = -1.0;
+  EXPECT_FALSE(g.valid());
+  g = FrameGeometry{};
+  g.packet_bits = 0;
+  EXPECT_FALSE(g.valid());
+  g = FrameGeometry{};
+  g.num_pilot_slots = 0;  // pilot subframe may be empty
+  EXPECT_TRUE(g.valid());
+}
+
+}  // namespace
+}  // namespace charisma::mac

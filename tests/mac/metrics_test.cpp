@@ -1,0 +1,94 @@
+#include "mac/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::mac {
+namespace {
+
+TEST(Metrics, ZeroSafeDerived) {
+  ProtocolMetrics m;
+  EXPECT_DOUBLE_EQ(m.voice_loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.data_throughput_per_frame(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_data_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.slot_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(m.request_success_ratio(), 0.0);
+}
+
+TEST(Metrics, VoiceLossComposition) {
+  ProtocolMetrics m;
+  m.voice_generated = 1000;
+  m.voice_delivered = 960;
+  m.voice_dropped_deadline = 30;
+  m.voice_error_lost = 10;
+  EXPECT_DOUBLE_EQ(m.voice_loss_rate(), 0.04);
+  EXPECT_DOUBLE_EQ(m.voice_drop_rate(), 0.03);
+  EXPECT_DOUBLE_EQ(m.voice_error_rate(), 0.01);
+}
+
+TEST(Metrics, DataThroughputPerFrame) {
+  ProtocolMetrics m;
+  m.frames = 400;
+  m.data_delivered = 1000;
+  EXPECT_DOUBLE_EQ(m.data_throughput_per_frame(), 2.5);
+}
+
+TEST(Metrics, DelayAccumulator) {
+  ProtocolMetrics m;
+  m.data_delay_s.add(0.1);
+  m.data_delay_s.add(0.3);
+  EXPECT_DOUBLE_EQ(m.mean_data_delay_s(), 0.2);
+}
+
+TEST(Metrics, SlotRatios) {
+  ProtocolMetrics m;
+  m.info_slots_offered = 100;
+  m.info_slots_assigned = 60;
+  m.info_slots_wasted = 15;
+  EXPECT_DOUBLE_EQ(m.slot_utilization(), 0.6);
+  EXPECT_DOUBLE_EQ(m.slot_waste_ratio(), 0.15);
+}
+
+TEST(Metrics, RequestSuccessRatio) {
+  ProtocolMetrics m;
+  m.request_slots = 120;
+  m.request_successes = 30;
+  EXPECT_DOUBLE_EQ(m.request_success_ratio(), 0.25);
+}
+
+TEST(Metrics, JainIndexKnownValues) {
+  ProtocolMetrics m;
+  m.per_user_delivered = {10, 10, 10, 10};
+  EXPECT_NEAR(m.jain_fairness_index(0, 3), 1.0, 1e-12);
+  m.per_user_delivered = {40, 0, 0, 0};
+  EXPECT_NEAR(m.jain_fairness_index(0, 3), 0.25, 1e-12);
+  m.per_user_delivered = {10, 20, 30, 40};
+  // (100)^2 / (4 * 3000) = 10000/12000.
+  EXPECT_NEAR(m.jain_fairness_index(0, 3), 10000.0 / 12000.0, 1e-12);
+  // Sub-range selection.
+  EXPECT_NEAR(m.jain_fairness_index(2, 3), 4900.0 / (2.0 * 2500.0), 1e-12);
+}
+
+TEST(Metrics, JainIndexDegenerateCases) {
+  ProtocolMetrics m;
+  EXPECT_DOUBLE_EQ(m.jain_fairness_index(0, 5), 1.0);  // no ledger
+  m.per_user_delivered = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(m.jain_fairness_index(0, 2), 1.0);  // nothing delivered
+  EXPECT_DOUBLE_EQ(m.jain_fairness_index(2, 1), 1.0);  // inverted range
+  EXPECT_DOUBLE_EQ(m.jain_fairness_index(0, 99), 1.0); // out of range
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  ProtocolMetrics m;
+  m.frames = 10;
+  m.voice_generated = 5;
+  m.data_delay_s.add(1.0);
+  m.csi_polls = 3;
+  m.reset();
+  EXPECT_EQ(m.frames, 0);
+  EXPECT_EQ(m.voice_generated, 0);
+  EXPECT_EQ(m.csi_polls, 0);
+  EXPECT_EQ(m.data_delay_s.count(), 0);
+}
+
+}  // namespace
+}  // namespace charisma::mac

@@ -1,0 +1,74 @@
+#include "mac/mobile_user.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::mac {
+namespace {
+
+ScenarioParams test_params() {
+  ScenarioParams p;
+  p.num_voice_users = 1;
+  p.num_data_users = 1;
+  p.seed = 42;
+  return p;
+}
+
+TEST(MobileUser, VoiceConstruction) {
+  MobileUser u(0, ServiceType::kVoice, test_params());
+  EXPECT_TRUE(u.is_voice());
+  EXPECT_FALSE(u.is_data());
+  EXPECT_EQ(u.id(), 0);
+  // Voice source is wired with the scenario's traffic parameters.
+  EXPECT_DOUBLE_EQ(u.voice().config().mean_talkspurt_s, 1.0);
+  EXPECT_DOUBLE_EQ(u.voice().config().voice_period, 0.02);
+}
+
+TEST(MobileUser, DataConstruction) {
+  MobileUser u(5, ServiceType::kData, test_params());
+  EXPECT_TRUE(u.is_data());
+  EXPECT_DOUBLE_EQ(u.data().config().mean_burst_packets, 100.0);
+}
+
+TEST(MobileUser, IndependentStreamsAcrossUsers) {
+  auto params = test_params();
+  MobileUser a(0, ServiceType::kVoice, params);
+  MobileUser b(1, ServiceType::kVoice, params);
+  // Different user ids draw different MAC randomness despite one seed.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.rng().uniform() == b.rng().uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(MobileUser, ReproducibleAcrossConstructions) {
+  auto params = test_params();
+  MobileUser a(0, ServiceType::kVoice, params);
+  MobileUser b(0, ServiceType::kVoice, params);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.rng().uniform(), b.rng().uniform());
+  }
+  a.channel().advance_to(0.1);
+  b.channel().advance_to(0.1);
+  EXPECT_DOUBLE_EQ(a.channel().snr_linear(), b.channel().snr_linear());
+}
+
+TEST(MobileUser, BackoffDynamics) {
+  MobileUser u(0, ServiceType::kData, test_params());
+  EXPECT_DOUBLE_EQ(u.backoff_scale(), 1.0);
+  u.note_contention_collision();
+  EXPECT_DOUBLE_EQ(u.backoff_scale(), 0.5);
+  u.note_contention_collision();
+  EXPECT_DOUBLE_EQ(u.backoff_scale(), 0.25);
+  u.note_contention_success();
+  EXPECT_DOUBLE_EQ(u.backoff_scale(), 1.0);
+}
+
+TEST(MobileUser, BackoffFloor) {
+  MobileUser u(0, ServiceType::kData, test_params());
+  for (int i = 0; i < 20; ++i) u.note_contention_collision();
+  EXPECT_DOUBLE_EQ(u.backoff_scale(), 1.0 / 64.0);
+}
+
+}  // namespace
+}  // namespace charisma::mac

@@ -1,0 +1,89 @@
+#include "mac/request_queue.hpp"
+
+#include <gtest/gtest.h>
+#include <limits>
+
+namespace charisma::mac {
+namespace {
+
+PendingRequest voice_request(common::UserId user, double deadline) {
+  PendingRequest r;
+  r.user = user;
+  r.type = RequestType::kVoice;
+  r.deadline = deadline;
+  return r;
+}
+
+PendingRequest data_request(common::UserId user) {
+  PendingRequest r;
+  r.user = user;
+  r.type = RequestType::kData;
+  r.deadline = std::numeric_limits<double>::infinity();
+  return r;
+}
+
+TEST(RequestQueue, PushAndContains) {
+  RequestQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(voice_request(1, 1.0));
+  EXPECT_TRUE(q.contains(1));
+  EXPECT_FALSE(q.contains(2));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RequestQueue, RemoveByUser) {
+  RequestQueue q;
+  q.push(voice_request(1, 1.0));
+  q.push(data_request(2));
+  q.remove(1);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_TRUE(q.contains(2));
+}
+
+TEST(RequestQueue, PurgeExpiredVoiceOnly) {
+  RequestQueue q;
+  q.push(voice_request(1, 0.5));   // expires
+  q.push(voice_request(2, 2.0));   // survives
+  q.push(data_request(3));         // data never expires
+  const int purged = q.purge_expired_voice(1.0);
+  EXPECT_EQ(purged, 1);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_TRUE(q.contains(2));
+  EXPECT_TRUE(q.contains(3));
+}
+
+TEST(RequestQueue, PurgeAtExactDeadline) {
+  RequestQueue q;
+  q.push(voice_request(1, 1.0));
+  EXPECT_EQ(q.purge_expired_voice(1.0), 1);  // deadline reached => dead
+}
+
+TEST(RequestQueue, AgeAllIncrementsWaiting) {
+  RequestQueue q;
+  q.push(voice_request(1, 5.0));
+  q.push(data_request(2));
+  q.age_all();
+  q.age_all();
+  for (const auto& r : q.entries()) {
+    EXPECT_EQ(r.frames_waited, 2);
+  }
+}
+
+TEST(RequestQueue, FifoOrderPreserved) {
+  RequestQueue q;
+  for (int i = 0; i < 5; ++i) q.push(data_request(i));
+  int expected = 0;
+  for (const auto& r : q.entries()) {
+    EXPECT_EQ(r.user, expected++);
+  }
+}
+
+TEST(RequestQueue, ClearEmpties) {
+  RequestQueue q;
+  q.push(data_request(1));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace charisma::mac

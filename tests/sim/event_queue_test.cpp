@@ -1,0 +1,113 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace charisma::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.schedule(7.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // second cancel fails
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelHeadAdvancesNextTime) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(9999));
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(4.25, [] {});
+  const auto fired = q.pop();
+  EXPECT_DOUBLE_EQ(fired.time, 4.25);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  // Insert times in a scrambled deterministic order.
+  for (int i = 0; i < 1000; ++i) {
+    q.schedule(static_cast<double>((i * 7919) % 1000), [] {});
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, prev);
+    prev = fired.time;
+  }
+}
+
+}  // namespace
+}  // namespace charisma::sim

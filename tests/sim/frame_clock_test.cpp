@@ -1,0 +1,42 @@
+#include "sim/frame_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charisma::sim {
+namespace {
+
+TEST(FrameClock, FrameStartTimes) {
+  FrameClock clock(2.5e-3, 8);
+  EXPECT_DOUBLE_EQ(clock.frame_start(0), 0.0);
+  EXPECT_DOUBLE_EQ(clock.frame_start(4), 0.01);
+  EXPECT_DOUBLE_EQ(clock.frame_start(800), 2.0);
+}
+
+TEST(FrameClock, FrameAtInverse) {
+  FrameClock clock(2.5e-3, 8);
+  for (common::FrameIndex f : {0, 1, 7, 8, 100, 12345}) {
+    EXPECT_EQ(clock.frame_at(clock.frame_start(f)), f);
+  }
+}
+
+TEST(FrameClock, FrameAtMidFrame) {
+  FrameClock clock(2.5e-3, 8);
+  EXPECT_EQ(clock.frame_at(2.4e-3), 0);
+  EXPECT_EQ(clock.frame_at(2.6e-3), 1);
+}
+
+TEST(FrameClock, VoicePhaseCycles) {
+  FrameClock clock(2.5e-3, 8);
+  EXPECT_EQ(clock.voice_phase(0), 0);
+  EXPECT_EQ(clock.voice_phase(7), 7);
+  EXPECT_EQ(clock.voice_phase(8), 0);
+  EXPECT_EQ(clock.voice_phase(17), 1);
+}
+
+TEST(FrameClock, VoicePeriod) {
+  FrameClock clock(2.5e-3, 8);
+  EXPECT_DOUBLE_EQ(clock.voice_period(), 0.02);
+}
+
+}  // namespace
+}  // namespace charisma::sim

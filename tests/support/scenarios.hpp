@@ -1,0 +1,45 @@
+// Shared scenario builders for protocol and integration tests. Scenarios
+// are deliberately small (few users, short horizons) to keep the suite
+// fast while still exercising every protocol path.
+#pragma once
+
+#include "mac/scenario.hpp"
+
+namespace charisma::testing {
+
+/// A small mixed scenario under the default calibrated radio environment.
+inline mac::ScenarioParams small_mixed(int voice, int data, bool queue = true,
+                                       std::uint64_t seed = 1) {
+  mac::ScenarioParams p;
+  p.num_voice_users = voice;
+  p.num_data_users = data;
+  p.request_queue = queue;
+  p.seed = seed;
+  return p;
+}
+
+/// An idealized radio: enormous SNR, no shadowing, no estimation noise —
+/// every transmission succeeds and every mode ladder tops out. Isolates
+/// MAC-layer behaviour from channel randomness.
+inline mac::ScenarioParams ideal_channel(int voice, int data,
+                                         bool queue = true,
+                                         std::uint64_t seed = 1) {
+  auto p = small_mixed(voice, data, queue, seed);
+  p.channel.mean_snr_db = 40.0;
+  p.channel.shadow_sigma_db = 0.0;
+  p.csi_error_sigma_db = 0.0;
+  return p;
+}
+
+/// A dead radio: SNR far below every adaptation threshold. Exercises the
+/// outage paths (wasted slots, deferral, deadline drops).
+inline mac::ScenarioParams outage_channel(int voice, int data,
+                                          bool queue = true,
+                                          std::uint64_t seed = 1) {
+  auto p = small_mixed(voice, data, queue, seed);
+  p.channel.mean_snr_db = -20.0;
+  p.channel.shadow_sigma_db = 0.0;
+  return p;
+}
+
+}  // namespace charisma::testing

@@ -1,0 +1,140 @@
+#include "traffic/data_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace charisma::traffic {
+namespace {
+
+constexpr double kFrame = 2.5e-3;
+
+DataSourceConfig test_config() {
+  DataSourceConfig cfg;
+  cfg.mean_interarrival_s = 1.0;
+  cfg.mean_burst_packets = 100.0;
+  cfg.frame_duration = kFrame;
+  return cfg;
+}
+
+TEST(DataSource, StartsEmpty) {
+  DataSource src(test_config(), common::RngStream(1));
+  EXPECT_TRUE(src.empty());
+  EXPECT_EQ(src.backlog(), 0);
+}
+
+TEST(DataSource, BurstRateMatchesInterarrival) {
+  DataSource src(test_config(), common::RngStream(2));
+  long bursts = 0;
+  const double horizon = 2000.0;
+  for (double t = 0.0; t < horizon; t += 0.1) {
+    bursts += src.on_frame(t).bursts_arrived;
+  }
+  EXPECT_NEAR(static_cast<double>(bursts) / horizon, 1.0, 0.05);
+}
+
+TEST(DataSource, MeanBurstSize) {
+  DataSource src(test_config(), common::RngStream(3));
+  long bursts = 0, packets = 0;
+  for (double t = 0.0; t < 3000.0; t += 0.1) {
+    const auto u = src.on_frame(t);
+    bursts += u.bursts_arrived;
+    packets += u.packets_arrived;
+  }
+  ASSERT_GT(bursts, 1000);
+  EXPECT_NEAR(static_cast<double>(packets) / static_cast<double>(bursts),
+              100.0, 5.0);
+}
+
+TEST(DataSource, PacketsStampedAtFrameBoundary) {
+  DataSource src(test_config(), common::RngStream(4));
+  for (long i = 0; i < 100000; ++i) {
+    const double t = static_cast<double>(i) * kFrame;
+    const auto u = src.on_frame(t);
+    if (u.packets_arrived > 0) {
+      EXPECT_DOUBLE_EQ(src.head_arrival(), t);
+      return;
+    }
+  }
+  FAIL() << "no burst arrived";
+}
+
+TEST(DataSource, PopHeadFifo) {
+  DataSource src(test_config(), common::RngStream(5));
+  double t = 0.0;
+  while (src.backlog() < 2) {
+    t += kFrame;
+    src.on_frame(t);
+  }
+  const int before = src.backlog();
+  const double head = src.head_arrival();
+  src.pop_head();
+  EXPECT_EQ(src.backlog(), before - 1);
+  // Same-burst packets share the arrival stamp.
+  EXPECT_DOUBLE_EQ(src.head_arrival(), head);
+}
+
+TEST(DataSource, PopEmptyThrows) {
+  DataSource src(test_config(), common::RngStream(6));
+  EXPECT_THROW(src.pop_head(), std::logic_error);
+}
+
+TEST(DataSource, PushFrontPreservesOrder) {
+  DataSource src(test_config(), common::RngStream(7));
+  double t = 0.0;
+  while (src.backlog() < 3) {
+    t += kFrame;
+    src.on_frame(t);
+  }
+  const double a = src.head_arrival();
+  src.pop_head();
+  const double b = src.head_arrival();
+  src.pop_head();
+  // ARQ: the two failed packets return to the head in original order.
+  src.push_front({a, b});
+  EXPECT_DOUBLE_EQ(src.head_arrival(), a);
+  src.pop_head();
+  EXPECT_DOUBLE_EQ(src.head_arrival(), b);
+}
+
+TEST(DataSource, GeneratedCounter) {
+  DataSource src(test_config(), common::RngStream(8));
+  long counted = 0;
+  for (double t = 0.0; t < 100.0; t += 0.1) {
+    counted += src.on_frame(t).packets_arrived;
+  }
+  EXPECT_EQ(src.packets_generated(), counted);
+}
+
+TEST(DataSource, Deterministic) {
+  DataSource a(test_config(), common::RngStream(9));
+  DataSource b(test_config(), common::RngStream(9));
+  for (double t = 0.0; t < 200.0; t += 0.5) {
+    EXPECT_EQ(a.on_frame(t).packets_arrived, b.on_frame(t).packets_arrived);
+  }
+}
+
+TEST(DataSource, InvalidConfig) {
+  auto cfg = test_config();
+  cfg.mean_interarrival_s = 0.0;
+  EXPECT_THROW(DataSource(cfg, common::RngStream(1)), std::invalid_argument);
+  cfg = test_config();
+  cfg.mean_burst_packets = 0.5;
+  EXPECT_THROW(DataSource(cfg, common::RngStream(1)), std::invalid_argument);
+}
+
+TEST(DataSource, BurstsAreAtLeastOnePacket) {
+  auto cfg = test_config();
+  cfg.mean_burst_packets = 1.0;  // tiny bursts still >= 1
+  DataSource src(cfg, common::RngStream(10));
+  long bursts = 0, packets = 0;
+  for (double t = 0.0; t < 500.0; t += 0.1) {
+    const auto u = src.on_frame(t);
+    bursts += u.bursts_arrived;
+    packets += u.packets_arrived;
+  }
+  EXPECT_GE(packets, bursts);
+}
+
+}  // namespace
+}  // namespace charisma::traffic

@@ -1,0 +1,222 @@
+// charisma_sim — command-line front-end to the simulation platform.
+//
+// Run one protocol (or all six) on a fully parameterized scenario, or
+// sweep a load axis, and emit a table or CSV. Examples:
+//
+//   charisma_sim protocol=charisma voice_users=100 data_users=10
+//   charisma_sim protocol=all voice_users=80 queue=0 measure=20
+//   charisma_sim sweep=voice x=40,80,120,160 protocol=all csv=out.csv
+//   charisma_sim protocol=charisma fairness=1 csi_refresh=0 doppler_hz=160
+//
+// Every scenario knob is a key=value argument; run with `help=1` for the
+// full list.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "charisma.hpp"
+
+namespace {
+
+using namespace charisma;
+
+void print_help() {
+  std::cout <<
+      R"(charisma_sim key=value ...
+
+Core:
+  protocol=charisma|dtdma_vr|dtdma_fr|drma|rama|rmav|prma|all
+  voice_users=N data_users=N queue=0|1 seed=N
+  warmup=SECONDS measure=SECONDS replications=N
+
+Sweeps (optional):
+  sweep=voice|data     x=10,20,40,...   (runs the grid instead of one cell)
+
+Radio / PHY:
+  mean_snr_db=F shadow_sigma_db=F doppler_hz=F kmh=F diversity=N
+  fixed_ref_db=F target_ber=F csi_noise_db=F csi_validity_frames=N
+  ack_loss=F tx_power_w=F
+
+Geometry:
+  request_slots=N info_slots=N pilot_slots=N
+
+Traffic:
+  talkspurt_s=F silence_s=F burst_packets=F interarrival_s=F pv=F pd=F
+
+CHARISMA options:
+  fairness=0|1 csi_refresh=0|1 poll_budget=N
+  alpha_voice=F alpha_data=F gamma_voice=F gamma_data=F voice_offset=F
+
+Output:
+  csv=FILE (also prints the table)  help=1
+)";
+}
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  std::vector<int> values;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    values.push_back(std::stoi(token));
+  }
+  return values;
+}
+
+mac::ScenarioParams scenario_from(const common::KeyValueConfig& config) {
+  mac::ScenarioParams params;
+  params.num_voice_users = config.get_int_or("voice_users", 80);
+  params.num_data_users = config.get_int_or("data_users", 0);
+  params.request_queue = config.get_bool_or("queue", true);
+  params.seed = static_cast<std::uint64_t>(config.get_int_or("seed", 1));
+
+  params.channel.mean_snr_db =
+      config.get_double_or("mean_snr_db", params.channel.mean_snr_db);
+  params.channel.shadow_sigma_db =
+      config.get_double_or("shadow_sigma_db", params.channel.shadow_sigma_db);
+  if (config.contains("kmh")) {
+    params.channel.doppler_hz = channel::ChannelConfig::doppler_for_speed(
+        common::km_per_hour(config.get_double_or("kmh", 50.0)), 2.0e9);
+  }
+  params.channel.doppler_hz =
+      config.get_double_or("doppler_hz", params.channel.doppler_hz);
+  params.channel.diversity_branches =
+      config.get_int_or("diversity", params.channel.diversity_branches);
+
+  params.fixed_phy_reference_db =
+      config.get_double_or("fixed_ref_db", params.fixed_phy_reference_db);
+  params.phy.target_ber =
+      config.get_double_or("target_ber", params.phy.target_ber);
+  params.csi_error_sigma_db =
+      config.get_double_or("csi_noise_db", params.csi_error_sigma_db);
+  params.csi_validity_frames =
+      config.get_int_or("csi_validity_frames", params.csi_validity_frames);
+  params.ack_loss_prob = config.get_double_or("ack_loss", 0.0);
+  params.energy.tx_power_w =
+      config.get_double_or("tx_power_w", params.energy.tx_power_w);
+
+  params.geometry.num_request_slots =
+      config.get_int_or("request_slots", params.geometry.num_request_slots);
+  params.geometry.num_info_slots =
+      config.get_int_or("info_slots", params.geometry.num_info_slots);
+  params.geometry.num_pilot_slots =
+      config.get_int_or("pilot_slots", params.geometry.num_pilot_slots);
+
+  params.mean_talkspurt_s =
+      config.get_double_or("talkspurt_s", params.mean_talkspurt_s);
+  params.mean_silence_s =
+      config.get_double_or("silence_s", params.mean_silence_s);
+  params.mean_burst_packets =
+      config.get_double_or("burst_packets", params.mean_burst_packets);
+  params.mean_data_interarrival_s =
+      config.get_double_or("interarrival_s", params.mean_data_interarrival_s);
+  params.voice_permission_prob =
+      config.get_double_or("pv", params.voice_permission_prob);
+  params.data_permission_prob =
+      config.get_double_or("pd", params.data_permission_prob);
+  return params;
+}
+
+core::CharismaOptions charisma_options_from(
+    const common::KeyValueConfig& config) {
+  core::CharismaOptions options;
+  options.fairness = config.get_bool_or("fairness", false)
+                         ? core::FairnessMode::kCapacityNormalized
+                         : core::FairnessMode::kNone;
+  options.enable_csi_refresh = config.get_bool_or("csi_refresh", true);
+  options.csi_poll_budget = config.get_int_or("poll_budget", -1);
+  options.priority.alpha_voice =
+      config.get_double_or("alpha_voice", options.priority.alpha_voice);
+  options.priority.alpha_data =
+      config.get_double_or("alpha_data", options.priority.alpha_data);
+  options.priority.gamma_voice =
+      config.get_double_or("gamma_voice", options.priority.gamma_voice);
+  options.priority.gamma_data =
+      config.get_double_or("gamma_data", options.priority.gamma_data);
+  options.priority.voice_offset =
+      config.get_double_or("voice_offset", options.priority.voice_offset);
+  return options;
+}
+
+std::vector<protocols::ProtocolId> protocols_from(
+    const common::KeyValueConfig& config) {
+  const std::string name = config.get_string_or("protocol", "charisma");
+  if (name == "all") return protocols::all_protocols();
+  return {protocols::parse_protocol(name)};
+}
+
+void add_result_row(common::TextTable& table, const std::string& label,
+                    const experiment::ReplicatedResult& result) {
+  table.add_row({label, result.protocol,
+                 common::TextTable::sci(result.voice_loss.mean(), 3),
+                 common::TextTable::sci(result.voice_error.mean(), 3),
+                 common::TextTable::num(result.data_throughput.mean(), 2),
+                 common::TextTable::num(result.data_delay_s.mean(), 3),
+                 common::TextTable::num(result.slot_utilization.mean(), 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::KeyValueConfig config;
+  try {
+    config = common::KeyValueConfig::from_args(
+        std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\nRun with help=1 for usage.\n";
+    return 1;
+  }
+  if (config.get_bool_or("help", false)) {
+    print_help();
+    return 0;
+  }
+
+  try {
+    experiment::RunSpec spec;
+    spec.params = scenario_from(config);
+    spec.warmup_s = config.get_double_or("warmup", 4.0);
+    spec.measure_s = config.get_double_or("measure", 12.0);
+    spec.replications = config.get_int_or("replications", 1);
+    spec.charisma = charisma_options_from(config);
+    const auto protocol_list = protocols_from(config);
+
+    common::TextTable table("charisma_sim results");
+    table.set_header({"x", "protocol", "voice loss", "voice err",
+                      "data tput/frame", "data delay (s)", "slot util"});
+
+    if (config.contains("sweep")) {
+      experiment::SweepConfig sweep;
+      sweep.spec = spec;
+      const std::string axis = config.get_string_or("sweep", "voice");
+      sweep.axis = axis == "data" ? experiment::SweepAxis::kDataUsers
+                                  : experiment::SweepAxis::kVoiceUsers;
+      sweep.x_values =
+          parse_int_list(config.get_string_or("x", "20,60,100,140"));
+      sweep.protocols_to_run = protocol_list;
+      experiment::ParallelRunner runner;
+      for (const auto& cell : experiment::run_sweep(sweep, runner)) {
+        add_result_row(table, std::to_string(cell.x), cell.result);
+      }
+    } else {
+      for (auto id : protocol_list) {
+        const auto result = experiment::run_replications(id, spec);
+        add_result_row(table, "-", result);
+      }
+    }
+
+    table.print(std::cout);
+    if (config.contains("csv")) {
+      const std::string path = config.get_string_or("csv", "out.csv");
+      if (table.write_csv(path)) {
+        std::cout << "\nwrote " << path << '\n';
+      } else {
+        std::cerr << "could not write " << path << '\n';
+        return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
