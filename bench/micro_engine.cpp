@@ -3,6 +3,11 @@
 // contention resolution, and one full protocol frame for each protocol.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "bench_support.hpp"
 #include "charisma.hpp"
 
 namespace {
@@ -35,6 +40,100 @@ void BM_UserChannelFrameStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_UserChannelFrameStep);
+
+void BM_RngNormal(benchmark::State& state) {
+  // In-house Box-Muller (cached spare) — the innovation generator of the
+  // batched channel hot path.
+  common::RngStream rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_RngNormalFast(benchmark::State& state) {
+  // Ziggurat generator feeding the batched channel innovations.
+  common::RngStream rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal_fast());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNormalFast);
+
+void BM_RngNormalStdBaseline(benchmark::State& state) {
+  // What RngStream::normal() used to do: a fresh std::normal_distribution
+  // per call over the same engine.
+  common::RngStream rng(1);
+  for (auto _ : state) {
+    std::normal_distribution<double> dist(0.0, 1.0);
+    benchmark::DoNotOptimize(dist(rng.engine()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNormalStdBaseline);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  common::RngStream rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_int(12));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniformInt);
+
+channel::ChannelBank make_bank(int n) {
+  channel::ChannelBank bank;
+  bank.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    bank.add_user(channel::ChannelConfig{},
+                  common::RngStream(static_cast<std::uint64_t>(i) + 1));
+  }
+  return bank;
+}
+
+void BM_PerUserAdvanceBaseline(benchmark::State& state) {
+  // The pre-ChannelBank hot path (heap-scattered per-user walks, fresh
+  // std::normal_distribution per draw) — see bench::LegacyChannelWalk.
+  const int n = static_cast<int>(state.range(0));
+  bench::LegacyChannelWalk walk(n);
+  for (auto _ : state) {
+    walk.step_all();
+    benchmark::DoNotOptimize(walk.power_gain(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PerUserAdvanceBaseline)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ChannelBankAdvance(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto bank = make_bank(n);
+  const double dt = channel::ChannelConfig{}.sample_interval;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += dt;
+    bank.advance_all_to(t);
+    benchmark::DoNotOptimize(bank.snr_linear(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelBankAdvance)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ChannelBankJump(benchmark::State& state) {
+  // O(1)-in-k check: cost per advance must not scale with the stride.
+  const auto k = static_cast<double>(state.range(0));
+  auto bank = make_bank(1000);
+  const double dt = channel::ChannelConfig{}.sample_interval;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += k * dt;
+    bank.advance_all_to(t);
+    benchmark::DoNotOptimize(bank.snr_linear(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelBankJump)->Arg(1)->Arg(64);
 
 void BM_JakesSample(benchmark::State& state) {
   common::RngStream rng(2);

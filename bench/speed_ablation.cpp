@@ -3,14 +3,125 @@
 // crediting the CSI refresh mechanism. We sweep the Doppler spread implied
 // by 10-80 km/h at a fixed moderate load, with the refresh mechanism on
 // and off, and report the loss inflation relative to the 10 km/h point.
+//
+// Before the paper sweep, a hot-path ablation times the channel-evolution
+// inner loop — legacy per-user scalar walk vs the batched SoA ChannelBank,
+// and jump strides k=1 vs k=64 — and records the result as
+// BENCH_channel_bank.json (set CHARISMA_BENCH_JSON_DIR to redirect).
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "bench_support.hpp"
+
+namespace {
+
+using namespace charisma;
+
+double benchmark_legacy_walk(int users, int frames) {
+  bench::LegacyChannelWalk walk(users);
+  double sink = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int f = 0; f < frames; ++f) {
+    walk.step_all();
+    sink += walk.power_gain(0);
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  if (sink < 0.0) std::cout << "";  // keep the work observable
+  return wall.count();
+}
+
+double benchmark_bank(int users, int frames, int stride) {
+  channel::ChannelBank bank;
+  bank.reserve(static_cast<std::size_t>(users));
+  const channel::ChannelConfig cfg{};
+  for (int i = 0; i < users; ++i) {
+    bank.add_user(cfg, common::RngStream(static_cast<std::uint64_t>(i) + 1));
+  }
+  double sink = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  double t = 0.0;
+  for (int f = 0; f < frames; ++f) {
+    t += stride * cfg.sample_interval;
+    bank.advance_all_to(t);
+    sink += bank.fading_power(0);
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  if (sink < 0.0) std::cout << "";
+  return wall.count();
+}
+
+void run_hot_path_ablation() {
+  const int users = bench::env_int("CHARISMA_BENCH_BANK_USERS", 10000);
+  const int frames = bench::env_int("CHARISMA_BENCH_BANK_FRAMES", 400);
+
+  const double legacy_s = benchmark_legacy_walk(users, frames);
+  // One stride-1 measurement serves as the common baseline for both the
+  // legacy speedup and the k=64 cost ratio.
+  const double bank_s = benchmark_bank(users, frames, 1);
+  const double jump1_s = bank_s;
+  const double jump64_s = benchmark_bank(users, frames, 64);
+  const double speedup = legacy_s / bank_s;
+  const double jump_ratio = jump64_s / jump1_s;
+
+  common::TextTable table("Channel-evolution hot path (10k-user class)");
+  table.set_header({"path", "users", "frames", "wall (s)",
+                    "user-frames / s"});
+  const auto rate = [&](double s) {
+    return common::TextTable::sci(
+        static_cast<double>(users) * frames / s, 2);
+  };
+  table.add_row({"legacy per-user walk", common::TextTable::num(users, 0),
+                 common::TextTable::num(frames, 0),
+                 common::TextTable::num(legacy_s, 4), rate(legacy_s)});
+  table.add_row({"SoA ChannelBank", common::TextTable::num(users, 0),
+                 common::TextTable::num(frames, 0),
+                 common::TextTable::num(bank_s, 4), rate(bank_s)});
+  table.add_row({"bank, k=64 jumps", common::TextTable::num(users, 0),
+                 common::TextTable::num(frames, 0),
+                 common::TextTable::num(jump64_s, 4), rate(jump64_s)});
+  table.print(std::cout);
+  std::cout << "speedup (bank vs legacy): "
+            << common::TextTable::num(speedup, 2)
+            << "x; k=64 vs k=1 cost ratio: "
+            << common::TextTable::num(jump_ratio, 2)
+            << " (O(1) target: ~1)\n\n";
+
+  const char* dir = std::getenv("CHARISMA_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_channel_bank.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not write " << path << '\n';
+    return;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"channel_bank_hot_path\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"users\": " << users << ",\n"
+      << "  \"frames\": " << frames << ",\n"
+      << "  \"legacy_per_user_wall_s\": " << legacy_s << ",\n"
+      << "  \"channel_bank_wall_s\": " << bank_s << ",\n"
+      << "  \"speedup_bank_vs_legacy\": " << speedup << ",\n"
+      << "  \"jump_k1_wall_s\": " << jump1_s << ",\n"
+      << "  \"jump_k64_wall_s\": " << jump64_s << ",\n"
+      << "  \"jump_k64_vs_k1_ratio\": " << jump_ratio << "\n"
+      << "}\n";
+  std::cout << "(wrote " << path << ")\n\n";
+}
+
+}  // namespace
 
 int main() {
   using namespace charisma;
   bench::print_banner("Sec. 5.3.3: mobile speed and CSI usage",
                       "Kwok & Lau, Sec. 5.3.3 (speed sensitivity)");
+
+  run_hot_path_ablation();
 
   const auto spec_template = bench::standard_spec(/*default_reps=*/2);
   const double carrier_hz = 2.0e9;

@@ -1,0 +1,203 @@
+#include "channel/channel_bank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/fading.hpp"
+#include "common/math.hpp"
+
+namespace charisma::channel {
+
+namespace {
+constexpr double kHalfPower = 0.7071067811865476;  // sqrt(1/2)
+
+// Memoizing every distinct stride is safe: protocols use a handful of frame
+// lengths, so the per-group table stays tiny. The cap only guards against a
+// pathological caller advancing by a never-repeating stride sequence.
+constexpr std::size_t kMaxCachedStrides = 64;
+}  // namespace
+
+common::Hertz ChannelConfig::doppler_for_speed(common::Speed speed,
+                                               common::Hertz carrier_hz) {
+  if (speed < 0.0 || carrier_hz <= 0.0) {
+    throw std::invalid_argument("doppler_for_speed: invalid arguments");
+  }
+  return speed * carrier_hz / common::kSpeedOfLight;
+}
+
+void ChannelBank::reserve(std::size_t users) {
+  configs_.reserve(users);
+  rng_.reserve(users);
+  branch_begin_.reserve(users);
+  branch_count_.reserve(users);
+  mean_snr_linear_.reserve(users);
+  shadow_sigma_db_.reserve(users);
+  inv_branch_count_.reserve(users);
+  dt_.reserve(users);
+  step_.reserve(users);
+  group_.reserve(users);
+  fading_power_.reserve(users);
+  shadow_db_.reserve(users);
+  shadow_linear_.reserve(users);
+}
+
+std::size_t ChannelBank::group_for(double fade_rho, double shadow_rho) {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].fade_rho == fade_rho &&
+        groups_[g].shadow_rho == shadow_rho) {
+      return g;
+    }
+  }
+  groups_.push_back(ParamGroup{fade_rho, shadow_rho, {}});
+  return groups_.size() - 1;
+}
+
+std::size_t ChannelBank::add_user(const ChannelConfig& config,
+                                  common::RngStream rng) {
+  if (config.diversity_branches < 1) {
+    throw std::invalid_argument("ChannelBank: need >= 1 diversity branch");
+  }
+  if (config.shadow_sigma_db < 0.0) {
+    throw std::invalid_argument("ChannelBank: shadow_sigma_db must be >= 0");
+  }
+  if (config.shadow_tau <= 0.0 || config.sample_interval <= 0.0) {
+    throw std::invalid_argument(
+        "ChannelBank: shadow_tau and sample_interval must be > 0");
+  }
+  const double fade_rho =
+      ar_rho_for(config.doppler_hz, config.sample_interval);
+  const double shadow_rho =
+      std::exp(-config.sample_interval / config.shadow_tau);
+
+  const std::size_t user = configs_.size();
+  configs_.push_back(config);
+  branch_begin_.push_back(fade_re_.size());
+  branch_count_.push_back(config.diversity_branches);
+  mean_snr_linear_.push_back(common::from_db(config.mean_snr_db));
+  inv_branch_count_.push_back(1.0 /
+                              static_cast<double>(config.diversity_branches));
+  shadow_sigma_db_.push_back(config.shadow_sigma_db);
+  dt_.push_back(config.sample_interval);
+  step_.push_back(0);
+  group_.push_back(group_for(fade_rho, shadow_rho));
+
+  // The user's RngStream seeds its compact per-user innovation engine.
+  common::SplitMix64 fast(rng.engine()());
+  const auto& zig = common::detail::ziggurat_tables();
+
+  // Stationary start, same draw order as the scalar classes: per branch an
+  // I then a Q component, then the shadowing value.
+  double power = 0.0;
+  for (int b = 0; b < config.diversity_branches; ++b) {
+    const double re = kHalfPower * fast.normal(zig);
+    const double im = kHalfPower * fast.normal(zig);
+    fade_re_.push_back(re);
+    fade_im_.push_back(im);
+    power += re * re + im * im;
+  }
+  fading_power_.push_back(power /
+                          static_cast<double>(config.diversity_branches));
+  const double shadow = config.shadow_sigma_db * fast.normal(zig);
+  shadow_db_.push_back(shadow);
+  shadow_linear_.push_back(common::from_db(shadow));
+  rng_.push_back(fast);
+  return user;
+}
+
+const ChannelBank::JumpCoeffs& ChannelBank::coeffs(std::size_t group,
+                                                   std::int64_t k) {
+  auto& strides = groups_[group].strides;
+  for (const auto& entry : strides) {
+    if (entry.first == k) return entry.second;
+  }
+  const double fade_rho_k =
+      std::pow(groups_[group].fade_rho, static_cast<double>(k));
+  const double shadow_rho_k =
+      std::pow(groups_[group].shadow_rho, static_cast<double>(k));
+  JumpCoeffs c;
+  c.fade_rho_k = fade_rho_k;
+  c.fade_component_scale = std::sqrt((1.0 - fade_rho_k * fade_rho_k) * 0.5);
+  c.shadow_rho_k = shadow_rho_k;
+  c.shadow_unit_scale = std::sqrt(1.0 - shadow_rho_k * shadow_rho_k);
+  if (strides.size() >= kMaxCachedStrides) strides.clear();
+  strides.emplace_back(k, c);
+  return strides.back().second;
+}
+
+void ChannelBank::jump_user(std::size_t user, const JumpCoeffs& c) {
+  auto& rng = rng_[user];
+  const auto& zig = common::detail::ziggurat_tables();
+  const std::size_t begin = branch_begin_[user];
+  const std::size_t end = begin + static_cast<std::size_t>(branch_count_[user]);
+  double* const re = fade_re_.data();
+  double* const im = fade_im_.data();
+  double power = 0.0;
+  for (std::size_t b = begin; b < end; ++b) {
+    double wr, wi;
+    rng.normal_pair(zig, wr, wi);
+    const double r = c.fade_rho_k * re[b] + c.fade_component_scale * wr;
+    const double i = c.fade_rho_k * im[b] + c.fade_component_scale * wi;
+    re[b] = r;
+    im[b] = i;
+    power += r * r + i * i;
+  }
+  fading_power_[user] = power * inv_branch_count_[user];
+  shadow_db_[user] = c.shadow_rho_k * shadow_db_[user] +
+                     shadow_sigma_db_[user] * c.shadow_unit_scale *
+                         rng.normal(zig);
+  shadow_linear_[user] = -1.0;  // recomputed lazily on first SNR read
+}
+
+void ChannelBank::advance_user_to(std::size_t user, common::Time t) {
+  // Same boundary rule as the historical per-user walk: the epsilon absorbs
+  // accumulated floating-point error when t is built by summing frame
+  // durations that are not exact binary fractions.
+  const auto target =
+      static_cast<std::int64_t>(std::floor(t / dt_[user] + 1e-9));
+  if (target < step_[user]) {
+    throw std::logic_error("ChannelBank::advance_user_to: time went backwards");
+  }
+  const std::int64_t k = target - step_[user];
+  if (k == 0) return;
+  jump_user(user, coeffs(group_[user], k));
+  step_[user] = target;
+}
+
+void ChannelBank::advance_all_to(common::Time t) {
+  // In the common case every user shares one sample interval and one
+  // parameter group, so both the target-step division and the coefficient
+  // lookup are hoisted out of the loop by the memo of the previous
+  // iteration.
+  std::size_t last_group = static_cast<std::size_t>(-1);
+  std::int64_t last_k = -1;
+  const JumpCoeffs* c = nullptr;
+  double last_dt = -1.0;
+  std::int64_t last_target = 0;
+  const std::size_t n = configs_.size();
+  for (std::size_t user = 0; user < n; ++user) {
+    if (dt_[user] != last_dt) {
+      last_dt = dt_[user];
+      last_target = static_cast<std::int64_t>(std::floor(t / last_dt + 1e-9));
+    }
+    const std::int64_t target = last_target;
+    if (target < step_[user]) {
+      throw std::logic_error(
+          "ChannelBank::advance_all_to: time went backwards");
+    }
+    const std::int64_t k = target - step_[user];
+    if (k == 0) continue;
+    if (c == nullptr || group_[user] != last_group || k != last_k) {
+      last_group = group_[user];
+      last_k = k;
+      c = &coeffs(last_group, k);
+    }
+    jump_user(user, *c);
+    step_[user] = target;
+  }
+}
+
+double ChannelBank::snr_db(std::size_t user) const {
+  return common::to_db(snr_linear(user));
+}
+
+}  // namespace charisma::channel

@@ -64,6 +64,16 @@ void ArFadingBranch::step(common::RngStream& rng) {
   h_ = rho_ * h_ + innovation_scale_ * w;
 }
 
+void ArFadingBranch::jump(int k, common::RngStream& rng) {
+  if (k < 0) throw std::invalid_argument("ArFadingBranch::jump: k must be >= 0");
+  if (k == 0) return;
+  const double rho_k = std::pow(rho_, static_cast<double>(k));
+  const double component_scale = std::sqrt((1.0 - rho_k * rho_k) * 0.5);
+  const std::complex<double> w{component_scale * rng.normal(),
+                               component_scale * rng.normal()};
+  h_ = rho_k * h_ + w;
+}
+
 double ar_rho_for(common::Hertz doppler, common::Time dt) {
   if (doppler <= 0.0 || dt <= 0.0) {
     throw std::invalid_argument("ar_rho_for: doppler and dt must be > 0");
@@ -82,6 +92,10 @@ DiversityFadingProcess::DiversityFadingProcess(int branches, double rho,
 
 void DiversityFadingProcess::step(common::RngStream& rng) {
   for (auto& b : branches_) b.step(rng);
+}
+
+void DiversityFadingProcess::jump(int k, common::RngStream& rng) {
+  for (auto& b : branches_) b.jump(k, rng);
 }
 
 double DiversityFadingProcess::power_gain() const {

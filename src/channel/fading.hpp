@@ -55,8 +55,16 @@ class ArFadingBranch {
   /// Advances one grid step.
   void step(common::RngStream& rng);
 
+  /// Advances k grid steps in O(1) via the closed-form AR(1) composition
+  ///   h[n+k] = rho^k h[n] + sqrt(1 - rho^(2k)) w,  w ~ CN(0, 1),
+  /// distributionally identical to k calls of step() (k >= 0).
+  void jump(int k, common::RngStream& rng);
+
   /// |h|^2 of the current state.
   double power() const { return std::norm(h_); }
+
+  /// Current complex state, exposed for autocorrelation tests.
+  std::complex<double> state() const { return h_; }
 
   double rho() const { return rho_; }
 
@@ -79,6 +87,9 @@ class DiversityFadingProcess {
   DiversityFadingProcess(int branches, double rho, common::RngStream& rng);
 
   void step(common::RngStream& rng);
+
+  /// Advances all branches k grid steps in O(1) (see ArFadingBranch::jump).
+  void jump(int k, common::RngStream& rng);
 
   /// Effective power gain (unit mean).
   double power_gain() const;

@@ -26,6 +26,16 @@ void LogNormalShadowing::step(common::RngStream& rng) {
   value_db_ = rho_ * value_db_ + rng.normal(0.0, innovation_sigma_);
 }
 
+void LogNormalShadowing::jump(int k, common::RngStream& rng) {
+  if (k < 0) {
+    throw std::invalid_argument("LogNormalShadowing::jump: k must be >= 0");
+  }
+  if (k == 0) return;
+  const double rho_k = std::pow(rho_, static_cast<double>(k));
+  const double sigma_k = sigma_db_ * std::sqrt(1.0 - rho_k * rho_k);
+  value_db_ = rho_k * value_db_ + rng.normal(0.0, sigma_k);
+}
+
 double LogNormalShadowing::linear_gain() const {
   return common::from_db(value_db_);
 }

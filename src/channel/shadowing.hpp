@@ -19,6 +19,11 @@ class LogNormalShadowing {
 
   void step(common::RngStream& rng);
 
+  /// Advances k grid steps in O(1) via the Ornstein–Uhlenbeck composition
+  ///   s[n+k] = rho^k s[n] + sigma sqrt(1 - rho^(2k)) N(0, 1),
+  /// distributionally identical to k calls of step() (k >= 0).
+  void jump(int k, common::RngStream& rng);
+
   /// Current shadowing attenuation as a linear power factor (mean-1 in dB,
   /// i.e. the dB process has zero mean).
   double linear_gain() const;

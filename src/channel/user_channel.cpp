@@ -1,46 +1,13 @@
 #include "channel/user_channel.hpp"
 
-#include <cmath>
-#include <stdexcept>
-
-#include "common/math.hpp"
-
 namespace charisma::channel {
 
-common::Hertz ChannelConfig::doppler_for_speed(common::Speed speed,
-                                               common::Hertz carrier_hz) {
-  if (speed < 0.0 || carrier_hz <= 0.0) {
-    throw std::invalid_argument("doppler_for_speed: invalid arguments");
-  }
-  return speed * carrier_hz / common::kSpeedOfLight;
-}
-
 UserChannel::UserChannel(const ChannelConfig& config, common::RngStream rng)
-    : config_(config),
-      rng_(std::move(rng)),
-      fading_(config.diversity_branches,
-              ar_rho_for(config.doppler_hz, config.sample_interval), rng_),
-      shadowing_(config.shadow_sigma_db, config.shadow_tau,
-                 config.sample_interval, rng_),
-      mean_snr_linear_(common::from_db(config.mean_snr_db)) {}
-
-void UserChannel::advance_to(common::Time t) {
-  const auto target_step =
-      static_cast<std::int64_t>(std::floor(t / config_.sample_interval + 1e-9));
-  if (target_step < current_step_) {
-    throw std::logic_error("UserChannel::advance_to: time went backwards");
-  }
-  while (current_step_ < target_step) {
-    fading_.step(rng_);
-    shadowing_.step(rng_);
-    ++current_step_;
-  }
+    : owned_(std::make_unique<ChannelBank>()), bank_(owned_.get()) {
+  index_ = bank_->add_user(config, std::move(rng));
 }
 
-double UserChannel::snr_linear() const {
-  return mean_snr_linear_ * fading_.power_gain() * shadowing_.linear_gain();
-}
-
-double UserChannel::snr_db() const { return common::to_db(snr_linear()); }
+UserChannel::UserChannel(ChannelBank& bank, std::size_t index)
+    : bank_(&bank), index_(index) {}
 
 }  // namespace charisma::channel

@@ -3,55 +3,53 @@
 // grid. Each mobile device owns one UserChannel seeded independently, so
 // users fade independently — the property CHARISMA's selection diversity
 // exploits (paper §5.3.2).
+//
+// UserChannel is a thin per-user view over a ChannelBank (the SoA batched
+// hot path). Inside a ProtocolEngine all users share the engine's bank and
+// are advanced together; constructed standalone (tests, traces, handoff
+// studies) it owns a private single-user bank, so the API and statistics
+// are identical either way.
 #pragma once
 
-#include "channel/fading.hpp"
-#include "channel/shadowing.hpp"
+#include <cstddef>
+#include <memory>
+
+#include "channel/channel_bank.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
 namespace charisma::channel {
 
-/// Static description of the radio environment shared by all users.
-struct ChannelConfig {
-  double mean_snr_db = 16.0;      ///< link-budget mean SNR at the receiver
-  double shadow_sigma_db = 3.0;   ///< log-normal shadowing std-dev
-  common::Time shadow_tau = 1.0;  ///< shadowing decorrelation time, s
-  common::Hertz doppler_hz = 100.0;  ///< Doppler spread (50 km/h default)
-  int diversity_branches = 4;     ///< effective-SNR diversity order
-  common::Time sample_interval = 2.5e-3;  ///< grid step (one TDMA frame)
-
-  /// Doppler spread for a device moving at `speed` with carrier wavelength
-  /// implied by `carrier_hz`: fd = v * fc / c.
-  static common::Hertz doppler_for_speed(common::Speed speed,
-                                         common::Hertz carrier_hz);
-};
-
 class UserChannel {
  public:
+  /// Standalone channel backed by a private single-user bank.
   UserChannel(const ChannelConfig& config, common::RngStream rng);
+
+  /// View of user `index` in an existing bank (not owned; the bank must
+  /// outlive the view).
+  UserChannel(ChannelBank& bank, std::size_t index);
+
+  UserChannel(UserChannel&&) = default;
+  UserChannel& operator=(UserChannel&&) = default;
 
   /// Advances the channel state to (the grid point at or before) `t`.
   /// Must be called with non-decreasing times.
-  void advance_to(common::Time t);
+  void advance_to(common::Time t) { bank_->advance_user_to(index_, t); }
 
   /// Instantaneous effective SNR (linear) at the current state.
-  double snr_linear() const;
-  double snr_db() const;
+  double snr_linear() const { return bank_->snr_linear(index_); }
+  double snr_db() const { return bank_->snr_db(index_); }
 
   /// Components, exposed for tracing and tests.
-  double fading_power() const { return fading_.power_gain(); }
-  double shadow_db() const { return shadowing_.db_value(); }
+  double fading_power() const { return bank_->fading_power(index_); }
+  double shadow_db() const { return bank_->shadow_db(index_); }
 
-  const ChannelConfig& config() const { return config_; }
+  const ChannelConfig& config() const { return bank_->config(index_); }
 
  private:
-  ChannelConfig config_;
-  common::RngStream rng_;
-  DiversityFadingProcess fading_;
-  LogNormalShadowing shadowing_;
-  double mean_snr_linear_;
-  std::int64_t current_step_ = 0;
+  std::unique_ptr<ChannelBank> owned_;  // null when viewing a shared bank
+  ChannelBank* bank_;
+  std::size_t index_;
 };
 
 }  // namespace charisma::channel

@@ -14,6 +14,7 @@
 #include "analysis/fading_statistics.hpp"
 #include "analysis/slotted_aloha.hpp"
 #include "analysis/voice_capacity.hpp"
+#include "channel/channel_bank.hpp"
 #include "channel/csi.hpp"
 #include "channel/fading.hpp"
 #include "channel/gilbert_elliott.hpp"

@@ -1,9 +1,86 @@
 #include "common/rng.hpp"
 
 #include <cmath>
+#include <numbers>
 #include <stdexcept>
 
 namespace charisma::common {
+
+namespace {
+
+// ln(k!) for the PTRS acceptance test: exact table for small k, Stirling's
+// series beyond it (absolute error < 1e-11 for k >= 16).
+double ln_factorial(long k) {
+  static constexpr double kTable[] = {
+      0.0,
+      0.0,
+      0.6931471805599453,
+      1.791759469228055,
+      3.1780538303479458,
+      4.787491742782046,
+      6.579251212010101,
+      8.525161361065415,
+      10.60460290274525,
+      12.801827480081469,
+      15.104412573075516,
+      17.502307845873887,
+      19.987214495661885,
+      22.552163853123425,
+      25.19122118273868,
+      27.89927138384089,
+  };
+  if (k < 16) return kTable[k];
+  const double x = static_cast<double>(k) + 1.0;
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  return (x - 0.5) * std::log(x) - x +
+         0.5 * std::log(2.0 * std::numbers::pi) +
+         inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0));
+}
+
+// Adapts the mt19937_64 engine to the ziggurat sampler's Engine concept.
+struct Mt19937Source {
+  std::mt19937_64& engine;
+  std::uint64_t next() { return engine(); }
+  double uniform() {
+    return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+  }
+};
+
+detail::ZigguratTables build_ziggurat_tables() {
+  // Marsaglia & Tsang 2000, "The ziggurat method for generating random
+  // variables": 128 rectangular layers of equal area vn under the standard
+  // normal density, tail split at r = 3.4426..., scaled for 53-bit draws.
+  detail::ZigguratTables t;
+  constexpr double m = 9007199254740992.0;  // 2^53
+  constexpr double vn = 9.91256303526217e-3;
+  double dn = 3.442619855899;
+  double tn = dn;
+  const double q = vn / std::exp(-0.5 * dn * dn);
+  t.k[0] = static_cast<std::uint64_t>((dn / q) * m);
+  t.k[1] = 0;
+  t.w[0] = q / m;
+  t.w[127] = dn / m;
+  t.f[0] = 1.0;
+  t.f[127] = std::exp(-0.5 * dn * dn);
+  for (int i = 126; i >= 1; --i) {
+    dn = std::sqrt(-2.0 * std::log(vn / dn + std::exp(-0.5 * dn * dn)));
+    t.k[i + 1] = static_cast<std::uint64_t>((dn / tn) * m);
+    tn = dn;
+    t.f[i] = std::exp(-0.5 * dn * dn);
+    t.w[i] = dn / m;
+  }
+  return t;
+}
+
+}  // namespace
+
+namespace detail {
+const ZigguratTables& ziggurat_tables() {
+  static const ZigguratTables tables = build_ziggurat_tables();
+  return tables;
+}
+}  // namespace detail
 
 std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
   // splitmix64 finalizer over a mixed input; distinct (root, stream) pairs
@@ -25,8 +102,21 @@ double RngStream::uniform(double lo, double hi) {
 
 int RngStream::uniform_int(int n) {
   if (n <= 0) throw std::domain_error("uniform_int: n must be positive");
-  std::uniform_int_distribution<int> dist(0, n - 1);
-  return dist(engine_);
+  // Lemire's multiply-shift: map a 64-bit draw onto [0, n) via the high
+  // word of a 128-bit product, rejecting the sliver that would bias the
+  // result. One multiply on the accept path; rejection probability < n/2^64.
+  const auto range = static_cast<std::uint64_t>(n);
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(engine_()) * range;
+  auto low = static_cast<std::uint64_t>(product);
+  if (low < range) {
+    const std::uint64_t threshold = (0ULL - range) % range;
+    while (low < threshold) {
+      product = static_cast<unsigned __int128>(engine_()) * range;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<int>(static_cast<std::uint64_t>(product >> 64));
 }
 
 bool RngStream::bernoulli(double p) {
@@ -44,12 +134,29 @@ double RngStream::exponential(double mean) {
 }
 
 double RngStream::normal() {
-  std::normal_distribution<double> dist(0.0, 1.0);
-  return dist(engine_);
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller: exactly two uniforms per pair of variates, so the draw
+  // count per call is deterministic (unlike polar rejection) and the spare
+  // costs nothing to cache.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * uniform();
+  spare_normal_ = radius * std::sin(theta);
+  has_spare_normal_ = true;
+  return radius * std::cos(theta);
 }
 
 double RngStream::normal(double mean, double stddev) {
   return mean + stddev * normal();
+}
+
+double RngStream::normal_fast() {
+  Mt19937Source source{engine_};
+  return detail::ziggurat_normal(source, detail::ziggurat_tables());
 }
 
 double RngStream::rayleigh_amplitude(double mean_square) {
@@ -69,8 +176,43 @@ double RngStream::lognormal_db(double mean_db, double sigma_db) {
 int RngStream::poisson(double mean) {
   if (mean < 0.0) throw std::domain_error("poisson: mean must be >= 0");
   if (mean == 0.0) return 0;
-  std::poisson_distribution<int> dist(mean);
-  return dist(engine_);
+  if (mean < 10.0) {
+    // Knuth: count uniforms whose running product stays above e^-mean.
+    const double limit = std::exp(-mean);
+    int k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  return poisson_ptrs(mean);
+}
+
+int RngStream::poisson_ptrs(double mean) {
+  // Hörmann's PTRS transformed rejection (W. Hörmann, "The transformed
+  // rejection method for generating Poisson random variables", 1993).
+  // Valid for mean >= 10; expected uniforms per variate < 2.5.
+  const double slam = std::sqrt(mean);
+  const double loglam = std::log(mean);
+  const double b = 0.931 + 2.53 * slam;
+  const double a = -0.059 + 0.02483 * b;
+  const double invalpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double vr = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    const double u = uniform() - 0.5;
+    const double v = uniform();
+    const double us = 0.5 - std::fabs(u);
+    const auto k =
+        static_cast<long>(std::floor((2.0 * a / us + b) * u + mean + 0.43));
+    if (us >= 0.07 && v <= vr) return static_cast<int>(k);
+    if (k < 0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v) + std::log(invalpha) - std::log(a / (us * us) + b) <=
+        k * loglam - mean - ln_factorial(k)) {
+      return static_cast<int>(k);
+    }
+  }
 }
 
 }  // namespace charisma::common

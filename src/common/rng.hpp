@@ -6,8 +6,17 @@
 // (b) adding users or reordering events does not perturb other entities'
 // draws — the property the paper's "common simulation platform" needs for a
 // fair cross-protocol comparison.
+//
+// The distribution layer is implemented in-house (Box–Muller normals with a
+// cached spare, Lemire bounded integers, Knuth/PTRS Poisson) instead of the
+// std:: distribution objects: the standard leaves their algorithms
+// unspecified, so stdlib upgrades would silently change every simulation
+// result, and the std implementations construct per-call state on the hot
+// path. Only std::mt19937_64 (whose output *is* pinned by the standard) is
+// kept as the raw bit source.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -16,6 +25,108 @@ namespace charisma::common {
 /// Derives well-separated 64-bit seeds from (root, stream-id) pairs using
 /// the splitmix64 finalizer. Stateless; safe to call from any thread.
 std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream);
+
+namespace detail {
+
+/// Marsaglia–Tsang ziggurat layer tables for the standard normal, built
+/// once at first use (rng.cpp): 128 equal-area layers, 53-bit magnitude.
+struct ZigguratTables {
+  std::uint64_t k[128];
+  double w[128];
+  double f[128];
+};
+const ZigguratTables& ziggurat_tables();
+
+/// Ziggurat sampler over any engine exposing next() -> uint64 and
+/// uniform() -> [0, 1), with the first candidate draw supplied by the
+/// caller (lets callers pre-generate draws with independent mixing chains
+/// for ILP). Header-inline so tight SoA loops inline the ~97.9%
+/// single-draw accept path.
+template <typename Engine>
+inline double ziggurat_normal_from(Engine& eng, const ZigguratTables& zig,
+                                   std::uint64_t bits) {
+  for (;;) {
+    // One 64-bit draw funds the whole fast path: layer index (bits 0-6),
+    // sign (bit 7) and a 53-bit magnitude (bits 11-63).
+    const auto idx = static_cast<std::size_t>(bits & 127);
+    const bool negative = (bits >> 7) & 1;
+    const std::uint64_t hz = bits >> 11;
+    const double x = static_cast<double>(hz) * zig.w[idx];
+    if (hz < zig.k[idx]) return negative ? -x : x;
+    if (idx == 0) {
+      // Tail beyond r: Marsaglia's exponential-wrap rejection.
+      constexpr double r = 3.442619855899;
+      double xt, yt;
+      do {
+        double u1 = eng.uniform();
+        if (u1 <= 0.0) u1 = 0x1.0p-53;
+        double u2 = eng.uniform();
+        if (u2 <= 0.0) u2 = 0x1.0p-53;
+        xt = -std::log(u1) / r;
+        yt = -std::log(u2);
+      } while (yt + yt < xt * xt);
+      return negative ? -(r + xt) : (r + xt);
+    }
+    // Wedge between layer idx and idx-1.
+    if (zig.f[idx] + eng.uniform() * (zig.f[idx - 1] - zig.f[idx]) <
+        std::exp(-0.5 * x * x)) {
+      return negative ? -x : x;
+    }
+    bits = eng.next();
+  }
+}
+
+template <typename Engine>
+inline double ziggurat_normal(Engine& eng, const ZigguratTables& zig) {
+  return ziggurat_normal_from(eng, zig, eng.next());
+}
+
+}  // namespace detail
+
+/// Minimal 8-byte generator (splitmix64) for state-dense SoA hot loops,
+/// where mt19937_64's ~2.5 KB state would blow the cache out across a
+/// large population. Passes BigCrush; one add + three xor-multiplies per
+/// draw. Seed each instance from a well-mixed 64-bit value (e.g. a draw
+/// of the owner's RngStream) to keep streams decorrelated.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() { return mix(state_ += kGamma); }
+
+  /// Uniform in [0, 1), 53-bit mantissa-exact.
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via the shared ziggurat tables.
+  double normal(const detail::ZigguratTables& zig) {
+    return detail::ziggurat_normal(*this, zig);
+  }
+
+  /// Two standard normals. The state update is a plain add, so both
+  /// candidate draws are mixed on independent dependency chains — in an
+  /// unrolled SoA loop the two ~5-cycle multiply chains overlap instead
+  /// of serializing (the I/Q innovation fast path of ChannelBank).
+  void normal_pair(const detail::ZigguratTables& zig, double& a, double& b) {
+    const std::uint64_t bits_a = mix(state_ + kGamma);
+    const std::uint64_t bits_b = mix(state_ + 2 * kGamma);
+    state_ += 2 * kGamma;
+    a = detail::ziggurat_normal_from(*this, zig, bits_a);
+    b = detail::ziggurat_normal_from(*this, zig, bits_b);
+  }
+
+ private:
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+  static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_;
+};
 
 /// A self-contained random stream with the distribution draws the models
 /// need. Wraps std::mt19937_64; not thread-safe (each thread/entity owns
@@ -32,7 +143,8 @@ class RngStream {
   /// Uniform in [lo, hi).
   double uniform(double lo, double hi);
 
-  /// Uniform integer in [0, n).  n must be > 0.
+  /// Uniform integer in [0, n).  n must be > 0. Unbiased (Lemire's
+  /// multiply-shift rejection).
   int uniform_int(int n);
 
   /// True with probability p (clamped to [0, 1]).
@@ -41,11 +153,19 @@ class RngStream {
   /// Exponential with the given mean (> 0).
   double exponential(double mean);
 
-  /// Standard normal draw.
+  /// Standard normal draw. Box–Muller pair; the second variate of each pair
+  /// is cached and returned by the next call.
   double normal();
 
   /// Normal with mean/stddev.
   double normal(double mean, double stddev);
+
+  /// Standard normal via the Marsaglia–Tsang ziggurat (128 layers): the
+  /// same distribution as normal() but a different realization at ~one
+  /// engine draw per variate (no transcendentals on the accept path).
+  /// The batched channel hot path draws its innovations here; normal()
+  /// keeps the Box–Muller sequence the regression tests pin.
+  double normal_fast();
 
   /// Rayleigh *amplitude* with E[X^2] = mean_square.
   double rayleigh_amplitude(double mean_square);
@@ -54,14 +174,19 @@ class RngStream {
   /// returns 10^(N(mean_db, sigma_db)/10).
   double lognormal_db(double mean_db, double sigma_db);
 
-  /// Poisson with the given mean (>= 0).
+  /// Poisson with the given mean (>= 0). Knuth's product-of-uniforms for
+  /// small means, Hörmann's PTRS transformed rejection for large ones.
   int poisson(double mean);
 
   /// Direct access for use with std:: distributions in tests.
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  int poisson_ptrs(double mean);
+
   std::mt19937_64 engine_;
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
 };
 
 }  // namespace charisma::common

@@ -27,11 +27,13 @@ double FairnessTracker::adjusted_throughput(common::UserId user,
                                             double throughput,
                                             FairnessMode mode) const {
   if (mode == FairnessMode::kNone) return throughput;
-  const double avg = average(user);
-  if (avg <= 1e-9) return throughput;
-  // Scale the relative figure back into the absolute range so the urgency
-  // and offset terms keep their calibrated proportions: a user at exactly
-  // their personal average scores like a mid-ladder (2.5 bit/sym) user.
+  // Proportional fair: attainable rate over achieved average. The floor
+  // both avoids the divide-by-zero and caps the boost of a never-served
+  // user; the 2.5 rescales into the absolute range so the urgency and
+  // offset terms keep their calibrated proportions (a user granted exactly
+  // its attainable rate every frame scores like a mid-ladder 2.5 bit/sym
+  // user).
+  const double avg = std::max(average(user), kMinAverage);
   return 2.5 * throughput / avg;
 }
 

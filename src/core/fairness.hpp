@@ -1,9 +1,11 @@
 // Channel-capacity-fair priority adjustment — the first future-work avenue
 // of the paper (§6, after Wang/Kwok/Lau [22]): a raw CSI-ranked scheduler
 // starves users whose *average* channel is poor (cell-edge, shadowed). The
-// capacity-fair variant ranks users by their throughput relative to their
-// own long-run average, so everyone is served during their personal
-// "good" periods.
+// capacity-fair variant is a proportional-fair rule: rank users by their
+// attainable rate relative to an EWMA of the throughput they have actually
+// been GRANTED. A user the scheduler keeps passing over sees its achieved
+// average decay toward zero and its priority rise until it is served, so
+// everyone is served during their personal "good" periods.
 #pragma once
 
 #include <unordered_map>
@@ -14,7 +16,7 @@ namespace charisma::core {
 
 enum class FairnessMode {
   kNone,                 ///< paper's Eq. (2): absolute throughput
-  kCapacityNormalized,   ///< f(CSI) / EWMA of the user's own f(CSI)
+  kCapacityNormalized,   ///< f(CSI) / EWMA of the user's *achieved* rate
 };
 
 class FairnessTracker {
@@ -22,18 +24,26 @@ class FairnessTracker {
   /// `smoothing` is the EWMA weight of the newest sample (0, 1].
   explicit FairnessTracker(double smoothing = 0.02);
 
-  /// Records the user's current attainable throughput (call every frame the
-  /// user is visible to the scheduler).
+  /// Records the throughput the user was actually granted this frame
+  /// (0 when it competed and was passed over). Call once per frame for
+  /// every user visible to the scheduler.
   void observe(common::UserId user, double throughput);
 
-  /// The throughput figure the priority metric should use.
+  /// The throughput figure the priority metric should use: the attainable
+  /// `throughput` normalized by the user's achieved average (floored, so a
+  /// starved or never-served user is maximally boosted rather than
+  /// divided by zero).
   double adjusted_throughput(common::UserId user, double throughput,
                              FairnessMode mode) const;
 
-  /// The user's tracked average (0 before any observation).
+  /// The user's tracked achieved average (0 before any observation).
   double average(common::UserId user) const;
 
   void reset() { ewma_.clear(); }
+
+  /// Floor of the achieved average in the normalization — bounds the
+  /// starvation boost to 2.5/kMinAverage times the attainable rate.
+  static constexpr double kMinAverage = 0.05;
 
  private:
   double smoothing_;

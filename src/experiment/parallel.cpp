@@ -16,18 +16,24 @@ ParallelRunner::ParallelRunner(unsigned threads) : threads_(threads) {
 void ParallelRunner::run(const std::vector<std::function<void()>>& jobs) const {
   if (jobs.empty()) return;
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&] {
-    for (;;) {
+    // Stop claiming new jobs once any job has failed; the sweep's results
+    // are void anyway and the caller sees the error sooner.
+    while (!failed.load(std::memory_order_acquire)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       try {
         jobs[i]();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
       }
     }
   };

@@ -16,9 +16,10 @@ class ParallelRunner {
 
   unsigned thread_count() const { return threads_; }
 
-  /// Executes every job; blocks until all complete. The first exception
-  /// thrown by any job is rethrown here (remaining jobs still run to
-  /// completion so partially written results stay consistent).
+  /// Executes the jobs; blocks until the workers drain. The first exception
+  /// thrown by any job is rethrown here, and once a job has failed the
+  /// workers stop claiming new jobs (jobs already in flight finish), so a
+  /// broken sweep fails fast instead of burning the rest of the grid.
   void run(const std::vector<std::function<void()>>& jobs) const;
 
  private:

@@ -30,15 +30,16 @@ ProtocolEngine::ProtocolEngine(const ScenarioParams& params)
   // The channel grid step must match the frame cadence so per-frame draws
   // line up with the coherence model.
   params_.channel.sample_interval = geom_.frame_duration;
+  bank_.reserve(static_cast<std::size_t>(params.total_users()));
   users_.reserve(static_cast<std::size_t>(params.total_users()));
   for (int i = 0; i < params.num_voice_users; ++i) {
     users_.emplace_back(static_cast<common::UserId>(i), ServiceType::kVoice,
-                        params_);
+                        params_, &bank_);
   }
   for (int i = 0; i < params.num_data_users; ++i) {
     users_.emplace_back(
         static_cast<common::UserId>(params.num_voice_users + i),
-        ServiceType::kData, params_);
+        ServiceType::kData, params_, &bank_);
   }
 }
 
@@ -78,8 +79,10 @@ void ProtocolEngine::frame_event() {
 
 void ProtocolEngine::advance_world() {
   const common::Time t = sim_.now();
+  // One batched SoA pass over every user's fading/shadowing state instead
+  // of per-user pointer-chasing walks.
+  bank_.advance_all_to(t);
   for (auto& u : users_) {
-    u.channel().advance_to(t);
     if (u.is_voice()) {
       const auto update = u.voice().on_frame(t);
       metrics_.voice_generated += update.packets_generated;

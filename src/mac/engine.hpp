@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/channel_bank.hpp"
 #include "channel/csi.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -45,6 +46,10 @@ class ProtocolEngine {
 
   std::vector<MobileUser>& users() { return users_; }
   MobileUser& user(common::UserId id);
+
+  /// The shared SoA channel state all users' channels view into; exposed
+  /// for benchmarks and tests of the batched hot path.
+  channel::ChannelBank& channel_bank() { return bank_; }
 
  protected:
   /// One frame of protocol operation at sim time now(); returns the frame
@@ -119,6 +124,7 @@ class ProtocolEngine {
   ScenarioParams params_;
   FrameGeometry geom_;
   sim::Simulator sim_;
+  channel::ChannelBank bank_;  // declared before users_: views into it
   std::vector<MobileUser> users_;
   ProtocolMetrics metrics_;
   phy::FixedPhy fixed_phy_;

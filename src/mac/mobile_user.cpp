@@ -22,16 +22,27 @@ channel::ChannelConfig user_channel_config(common::UserId id,
   }
   return cfg;
 }
+
+channel::UserChannel make_channel(common::UserId id,
+                                  const ScenarioParams& params,
+                                  channel::ChannelBank* bank) {
+  const channel::ChannelConfig cfg = user_channel_config(id, params);
+  common::RngStream rng(params.seed,
+                        kChannelStream + static_cast<std::uint64_t>(id));
+  if (bank != nullptr) {
+    return channel::UserChannel(*bank, bank->add_user(cfg, std::move(rng)));
+  }
+  return channel::UserChannel(cfg, std::move(rng));
+}
 }  // namespace
 
 MobileUser::MobileUser(common::UserId id, ServiceType service,
-                       const ScenarioParams& params)
+                       const ScenarioParams& params,
+                       channel::ChannelBank* bank)
     : id_(id),
       service_(service),
       rng_(params.seed, kMacStream + static_cast<std::uint64_t>(id)),
-      channel_(user_channel_config(id, params),
-               common::RngStream(params.seed,
-                                 kChannelStream + static_cast<std::uint64_t>(id))) {
+      channel_(make_channel(id, params, bank)) {
   common::RngStream source_rng(params.seed,
                                kSourceStream + static_cast<std::uint64_t>(id));
   if (service == ServiceType::kVoice) {

@@ -21,8 +21,13 @@ enum class ServiceType { kVoice, kData };
 
 class MobileUser {
  public:
+  /// When `bank` is non-null the user's channel is registered in that
+  /// shared ChannelBank (the engine's batched hot path); otherwise the
+  /// channel is standalone. Seeding is identical either way, so the same
+  /// user sees the same channel in both modes.
   MobileUser(common::UserId id, ServiceType service,
-             const ScenarioParams& params);
+             const ScenarioParams& params,
+             channel::ChannelBank* bank = nullptr);
 
   common::UserId id() const { return id_; }
   ServiceType service() const { return service_; }

@@ -1,0 +1,160 @@
+#include "channel/channel_bank.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "channel/user_channel.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace charisma::channel {
+namespace {
+
+ChannelConfig test_config(double mean_snr_db = 16.0) {
+  ChannelConfig cfg;
+  cfg.mean_snr_db = mean_snr_db;
+  cfg.shadow_sigma_db = 3.0;
+  cfg.doppler_hz = 100.0;
+  cfg.diversity_branches = 4;
+  cfg.sample_interval = 2.5e-3;
+  return cfg;
+}
+
+TEST(ChannelBank, MatchesStandaloneUserChannel) {
+  // Per-user streams: a user advanced inside a populated bank must see
+  // exactly the channel it would see standalone — results are independent
+  // of population size.
+  ChannelBank bank;
+  bank.reserve(3);
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    bank.add_user(test_config(), common::RngStream(s));
+  }
+  UserChannel solo(test_config(), common::RngStream(2));
+  for (int i = 1; i <= 200; ++i) {
+    const double t = static_cast<double>(i) * 2.5e-3;
+    bank.advance_all_to(t);
+    solo.advance_to(t);
+    ASSERT_DOUBLE_EQ(bank.snr_linear(1), solo.snr_linear());
+    ASSERT_DOUBLE_EQ(bank.fading_power(1), solo.fading_power());
+    ASSERT_DOUBLE_EQ(bank.shadow_db(1), solo.shadow_db());
+  }
+}
+
+TEST(ChannelBank, BatchedAdvanceEqualsPerUserAdvance) {
+  ChannelBank batched, individual;
+  for (std::uint64_t s = 10; s < 18; ++s) {
+    batched.add_user(test_config(), common::RngStream(s));
+    individual.add_user(test_config(), common::RngStream(s));
+  }
+  for (int i = 1; i <= 100; ++i) {
+    const double t = static_cast<double>(i) * 2.5e-3;
+    batched.advance_all_to(t);
+    for (std::size_t u = 0; u < individual.size(); ++u) {
+      individual.advance_user_to(u, t);
+    }
+    for (std::size_t u = 0; u < batched.size(); ++u) {
+      ASSERT_DOUBLE_EQ(batched.snr_linear(u), individual.snr_linear(u));
+    }
+  }
+}
+
+TEST(ChannelBank, StationaryMomentsUnderStridedAdvance) {
+  // Advancing frame-by-frame and in large strides must both preserve the
+  // stationary unit-mean fading power (the k-step jump is exact, not an
+  // approximation).
+  for (int stride : {1, 7, 64}) {
+    ChannelBank bank;
+    bank.add_user(test_config(),
+                  common::RngStream(100 + static_cast<std::uint64_t>(stride)));
+    double sum = 0.0;
+    const int n = 60000;
+    for (int i = 1; i <= n; ++i) {
+      bank.advance_user_to(0, static_cast<double>(i) * stride * 2.5e-3);
+      sum += bank.fading_power(0);
+    }
+    EXPECT_NEAR(sum / n, 1.0, 0.05) << "stride " << stride;
+  }
+}
+
+TEST(ChannelBank, ShadowingStationarySigmaUnderStridedAdvance) {
+  ChannelBank bank;
+  bank.add_user(test_config(), common::RngStream(7));
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 40000;
+  // 0.25 s strides: well past the 1 s shadowing tau would need many steps
+  // in the legacy walk; here each is one O(1) jump.
+  for (int i = 1; i <= n; ++i) {
+    bank.advance_user_to(0, static_cast<double>(i) * 0.25);
+    const double s = bank.shadow_db(0);
+    sum += s;
+    sum2 += s * s;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.15);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 3.0, 0.15);
+}
+
+TEST(ChannelBank, MixedConfigsKeepPerUserBudgets) {
+  ChannelBank bank;
+  auto slow = test_config(10.0);
+  slow.shadow_sigma_db = 0.0;  // isolate the link-budget ratio
+  bank.add_user(slow, common::RngStream(1));
+  auto fast = test_config(20.0);
+  fast.shadow_sigma_db = 0.0;
+  fast.doppler_hz = 200.0;  // second parameter group
+  bank.add_user(fast, common::RngStream(2));
+  bank.advance_all_to(1.0);
+  EXPECT_DOUBLE_EQ(bank.config(0).mean_snr_db, 10.0);
+  EXPECT_DOUBLE_EQ(bank.config(1).mean_snr_db, 20.0);
+  // SNR must scale with the per-user link budget on average; smoke-check
+  // the ratio of long-run means.
+  double sum0 = 0.0, sum1 = 0.0;
+  const int n = 50000;
+  for (int i = 1; i <= n; ++i) {
+    bank.advance_all_to(1.0 + static_cast<double>(i) * 2.5e-3);
+    sum0 += bank.snr_linear(0);
+    sum1 += bank.snr_linear(1);
+  }
+  EXPECT_NEAR(sum1 / sum0, common::from_db(10.0), 0.5);
+}
+
+TEST(ChannelBank, TimeMustNotGoBackwards) {
+  ChannelBank bank;
+  bank.add_user(test_config(), common::RngStream(3));
+  bank.advance_user_to(0, 1.0);
+  EXPECT_THROW(bank.advance_user_to(0, 0.5), std::logic_error);
+  EXPECT_THROW(bank.advance_all_to(0.5), std::logic_error);
+}
+
+TEST(ChannelBank, RepeatAdvanceIsIdempotent) {
+  ChannelBank bank;
+  bank.add_user(test_config(), common::RngStream(4));
+  bank.advance_user_to(0, 0.1);
+  const double snr = bank.snr_linear(0);
+  bank.advance_user_to(0, 0.1);
+  bank.advance_all_to(0.1 + 1e-3);  // within the same 2.5 ms grid step
+  EXPECT_DOUBLE_EQ(bank.snr_linear(0), snr);
+}
+
+TEST(ChannelBank, InvalidConfigsThrow) {
+  ChannelBank bank;
+  auto bad_branches = test_config();
+  bad_branches.diversity_branches = 0;
+  EXPECT_THROW(bank.add_user(bad_branches, common::RngStream(1)),
+               std::invalid_argument);
+  auto bad_sigma = test_config();
+  bad_sigma.shadow_sigma_db = -1.0;
+  EXPECT_THROW(bank.add_user(bad_sigma, common::RngStream(1)),
+               std::invalid_argument);
+  auto bad_dt = test_config();
+  bad_dt.sample_interval = 0.0;
+  EXPECT_THROW(bank.add_user(bad_dt, common::RngStream(1)),
+               std::invalid_argument);
+  auto bad_doppler = test_config();
+  bad_doppler.doppler_hz = 0.0;
+  EXPECT_THROW(bank.add_user(bad_doppler, common::RngStream(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace charisma::channel

@@ -88,6 +88,41 @@ TEST(UserChannel, DeterministicGivenSeed) {
   }
 }
 
+TEST(UserChannel, StepBoundaryRoundingTolerantOfAccumulatedTime) {
+  // Frame clocks build t by summing frame durations that are not exact
+  // binary fractions, so the accumulated t drifts a few ulp below n * dt.
+  // The floor(t/dt + 1e-9) epsilon must land both clocks on the same grid
+  // step; without it the accumulated clock falls one step behind and every
+  // subsequent draw diverges.
+  const double dt = 2.5e-3;
+  UserChannel exact(test_config(), common::RngStream(10));
+  UserChannel accumulated(test_config(), common::RngStream(10));
+  double t = 0.0;
+  for (int i = 1; i <= 4000; ++i) {
+    t += dt;  // rounds; at i=3 already t != i * dt exactly
+    exact.advance_to(static_cast<double>(i) * dt);
+    accumulated.advance_to(t);
+    ASSERT_DOUBLE_EQ(exact.snr_linear(), accumulated.snr_linear()) << i;
+  }
+}
+
+TEST(UserChannel, StepBoundarySlightlyUnderMultipleRoundsUp) {
+  // A target a hair under an exact multiple of dt (floating-point noise,
+  // not a genuinely earlier time) must still advance to that step.
+  const double dt = 2.5e-3;
+  UserChannel a(test_config(), common::RngStream(11));
+  UserChannel b(test_config(), common::RngStream(11));
+  const double boundary = 100.0 * dt;
+  a.advance_to(boundary);
+  b.advance_to(boundary * (1.0 - 1e-12));
+  EXPECT_DOUBLE_EQ(a.snr_linear(), b.snr_linear());
+  // ...while a target clearly inside the previous step lands one step
+  // short (same seed, same single-jump path, different stride).
+  UserChannel c(test_config(), common::RngStream(11));
+  c.advance_to(boundary - 0.6 * dt);
+  EXPECT_NE(c.snr_linear(), a.snr_linear());
+}
+
 TEST(ChannelConfig, DopplerForSpeed) {
   // 50 km/h at 2 GHz: fd = v fc / c ~ 92.6 Hz.
   const double fd = ChannelConfig::doppler_for_speed(

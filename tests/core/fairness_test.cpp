@@ -46,12 +46,27 @@ TEST(Fairness, AtPersonalAverageScoresMidLadder) {
               2.5, 1e-9);
 }
 
-TEST(Fairness, UnknownUserFallsBackToRaw) {
+TEST(Fairness, UnknownUserGetsMaximalStartupBoost) {
+  // Proportional fair: a never-served user's achieved average is floored,
+  // so it is boosted to the cap rather than treated neutrally.
   FairnessTracker tracker;
   EXPECT_DOUBLE_EQ(tracker.adjusted_throughput(
                        99, 3.5, FairnessMode::kCapacityNormalized),
-                   3.5);
+                   2.5 * 3.5 / FairnessTracker::kMinAverage);
   EXPECT_DOUBLE_EQ(tracker.average(99), 0.0);
+}
+
+TEST(Fairness, StarvationRaisesPriorityUntilServed) {
+  FairnessTracker tracker(0.1);
+  tracker.observe(1, 2.0);  // served once...
+  const double before = tracker.adjusted_throughput(
+      1, 2.0, FairnessMode::kCapacityNormalized);
+  for (int i = 0; i < 100; ++i) tracker.observe(1, 0.0);  // ...then starved
+  const double after = tracker.adjusted_throughput(
+      1, 2.0, FairnessMode::kCapacityNormalized);
+  EXPECT_GT(after, before * 10.0);
+  // Bounded by the floor, not divergent.
+  EXPECT_LE(after, 2.5 * 2.0 / FairnessTracker::kMinAverage + 1e-9);
 }
 
 TEST(Fairness, ResetForgets) {

@@ -41,6 +41,18 @@ TEST(Parallel, EachJobRunsExactlyOnce) {
 
 TEST(Parallel, ExceptionPropagates) {
   ParallelRunner runner(2);
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back([] {});
+  }
+  EXPECT_THROW(runner.run(jobs), std::runtime_error);
+}
+
+TEST(Parallel, ThrowingJobShortCircuitsSingleThread) {
+  // With one worker the schedule is deterministic: job 0 fails, and no
+  // further job may be claimed afterwards.
+  ParallelRunner runner(1);
   std::atomic<int> completed{0};
   std::vector<std::function<void()>> jobs;
   jobs.push_back([] { throw std::runtime_error("boom"); });
@@ -48,8 +60,21 @@ TEST(Parallel, ExceptionPropagates) {
     jobs.push_back([&completed] { completed.fetch_add(1); });
   }
   EXPECT_THROW(runner.run(jobs), std::runtime_error);
-  // Remaining jobs still ran.
-  EXPECT_EQ(completed.load(), 10);
+  EXPECT_EQ(completed.load(), 0);
+}
+
+TEST(Parallel, ThrowingJobsShortCircuitMultiThread) {
+  // Every job throws, so each worker's first claimed job raises the failed
+  // flag and stops that worker: at most one execution per worker, never
+  // the whole grid.
+  ParallelRunner runner(4);
+  std::atomic<int> attempted{0};
+  std::vector<std::function<void()>> jobs(100, [&attempted] {
+    attempted.fetch_add(1);
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(runner.run(jobs), std::runtime_error);
+  EXPECT_LE(attempted.load(), 4);
 }
 
 TEST(Parallel, SingleThreadWorks) {
