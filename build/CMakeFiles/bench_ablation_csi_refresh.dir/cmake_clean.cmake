@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_csi_refresh.dir/bench/ablation_csi_refresh.cpp.o"
+  "CMakeFiles/bench_ablation_csi_refresh.dir/bench/ablation_csi_refresh.cpp.o.d"
+  "ablation_csi_refresh"
+  "ablation_csi_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_csi_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_voice_loss.dir/bench/fig11_voice_loss.cpp.o"
+  "CMakeFiles/bench_fig11_voice_loss.dir/bench/fig11_voice_loss.cpp.o.d"
+  "fig11_voice_loss"
+  "fig11_voice_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_voice_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

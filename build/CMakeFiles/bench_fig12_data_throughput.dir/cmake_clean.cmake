@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_data_throughput.dir/bench/fig12_data_throughput.cpp.o"
+  "CMakeFiles/bench_fig12_data_throughput.dir/bench/fig12_data_throughput.cpp.o.d"
+  "fig12_data_throughput"
+  "fig12_data_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_data_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_data_delay.dir/bench/fig13_data_delay.cpp.o"
+  "CMakeFiles/bench_fig13_data_delay.dir/bench/fig13_data_delay.cpp.o.d"
+  "fig13_data_delay"
+  "fig13_data_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_data_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

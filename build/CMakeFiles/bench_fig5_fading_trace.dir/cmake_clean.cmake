@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fading_trace.dir/bench/fig5_fading_trace.cpp.o"
+  "CMakeFiles/bench_fig5_fading_trace.dir/bench/fig5_fading_trace.cpp.o.d"
+  "fig5_fading_trace"
+  "fig5_fading_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fading_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_abicm.dir/bench/fig7_abicm.cpp.o"
+  "CMakeFiles/bench_fig7_abicm.dir/bench/fig7_abicm.cpp.o.d"
+  "fig7_abicm"
+  "fig7_abicm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_abicm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

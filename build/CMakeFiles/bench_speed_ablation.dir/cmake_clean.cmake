@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed_ablation.dir/bench/speed_ablation.cpp.o"
+  "CMakeFiles/bench_speed_ablation.dir/bench/speed_ablation.cpp.o.d"
+  "speed_ablation"
+  "speed_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/fading_statistics.cpp" "CMakeFiles/charisma.dir/src/analysis/fading_statistics.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/analysis/fading_statistics.cpp.o.d"
+  "/root/repo/src/analysis/slotted_aloha.cpp" "CMakeFiles/charisma.dir/src/analysis/slotted_aloha.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/analysis/slotted_aloha.cpp.o.d"
+  "/root/repo/src/analysis/voice_capacity.cpp" "CMakeFiles/charisma.dir/src/analysis/voice_capacity.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/analysis/voice_capacity.cpp.o.d"
+  "/root/repo/src/channel/channel_bank.cpp" "CMakeFiles/charisma.dir/src/channel/channel_bank.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/channel/channel_bank.cpp.o.d"
+  "/root/repo/src/channel/csi.cpp" "CMakeFiles/charisma.dir/src/channel/csi.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/channel/csi.cpp.o.d"
+  "/root/repo/src/channel/fading.cpp" "CMakeFiles/charisma.dir/src/channel/fading.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/channel/fading.cpp.o.d"
+  "/root/repo/src/channel/gilbert_elliott.cpp" "CMakeFiles/charisma.dir/src/channel/gilbert_elliott.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/channel/gilbert_elliott.cpp.o.d"
+  "/root/repo/src/channel/shadowing.cpp" "CMakeFiles/charisma.dir/src/channel/shadowing.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/channel/shadowing.cpp.o.d"
+  "/root/repo/src/channel/user_channel.cpp" "CMakeFiles/charisma.dir/src/channel/user_channel.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/channel/user_channel.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "CMakeFiles/charisma.dir/src/common/config.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/common/config.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "CMakeFiles/charisma.dir/src/common/logging.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/common/logging.cpp.o.d"
+  "/root/repo/src/common/math.cpp" "CMakeFiles/charisma.dir/src/common/math.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/common/math.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/charisma.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/charisma.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/charisma.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/charisma.cpp" "CMakeFiles/charisma.dir/src/core/charisma.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/core/charisma.cpp.o.d"
+  "/root/repo/src/core/fairness.cpp" "CMakeFiles/charisma.dir/src/core/fairness.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/core/fairness.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "CMakeFiles/charisma.dir/src/core/priority.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/core/priority.cpp.o.d"
+  "/root/repo/src/experiment/handoff_study.cpp" "CMakeFiles/charisma.dir/src/experiment/handoff_study.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/experiment/handoff_study.cpp.o.d"
+  "/root/repo/src/experiment/parallel.cpp" "CMakeFiles/charisma.dir/src/experiment/parallel.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/experiment/parallel.cpp.o.d"
+  "/root/repo/src/experiment/report.cpp" "CMakeFiles/charisma.dir/src/experiment/report.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/experiment/report.cpp.o.d"
+  "/root/repo/src/experiment/runner.cpp" "CMakeFiles/charisma.dir/src/experiment/runner.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/experiment/runner.cpp.o.d"
+  "/root/repo/src/experiment/sweep.cpp" "CMakeFiles/charisma.dir/src/experiment/sweep.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/experiment/sweep.cpp.o.d"
+  "/root/repo/src/mac/contention.cpp" "CMakeFiles/charisma.dir/src/mac/contention.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/mac/contention.cpp.o.d"
+  "/root/repo/src/mac/engine.cpp" "CMakeFiles/charisma.dir/src/mac/engine.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/mac/engine.cpp.o.d"
+  "/root/repo/src/mac/metrics.cpp" "CMakeFiles/charisma.dir/src/mac/metrics.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/mac/metrics.cpp.o.d"
+  "/root/repo/src/mac/mobile_user.cpp" "CMakeFiles/charisma.dir/src/mac/mobile_user.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/mac/mobile_user.cpp.o.d"
+  "/root/repo/src/mac/request_queue.cpp" "CMakeFiles/charisma.dir/src/mac/request_queue.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/mac/request_queue.cpp.o.d"
+  "/root/repo/src/mac/reservation.cpp" "CMakeFiles/charisma.dir/src/mac/reservation.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/mac/reservation.cpp.o.d"
+  "/root/repo/src/phy/adaptive_phy.cpp" "CMakeFiles/charisma.dir/src/phy/adaptive_phy.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/phy/adaptive_phy.cpp.o.d"
+  "/root/repo/src/phy/fixed_phy.cpp" "CMakeFiles/charisma.dir/src/phy/fixed_phy.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/phy/fixed_phy.cpp.o.d"
+  "/root/repo/src/phy/modes.cpp" "CMakeFiles/charisma.dir/src/phy/modes.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/phy/modes.cpp.o.d"
+  "/root/repo/src/protocols/drma.cpp" "CMakeFiles/charisma.dir/src/protocols/drma.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/protocols/drma.cpp.o.d"
+  "/root/repo/src/protocols/dtdma.cpp" "CMakeFiles/charisma.dir/src/protocols/dtdma.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/protocols/dtdma.cpp.o.d"
+  "/root/repo/src/protocols/factory.cpp" "CMakeFiles/charisma.dir/src/protocols/factory.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/protocols/factory.cpp.o.d"
+  "/root/repo/src/protocols/prma.cpp" "CMakeFiles/charisma.dir/src/protocols/prma.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/protocols/prma.cpp.o.d"
+  "/root/repo/src/protocols/rama.cpp" "CMakeFiles/charisma.dir/src/protocols/rama.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/protocols/rama.cpp.o.d"
+  "/root/repo/src/protocols/rmav.cpp" "CMakeFiles/charisma.dir/src/protocols/rmav.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/protocols/rmav.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/charisma.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/charisma.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/traffic/data_source.cpp" "CMakeFiles/charisma.dir/src/traffic/data_source.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/traffic/data_source.cpp.o.d"
+  "/root/repo/src/traffic/voice_source.cpp" "CMakeFiles/charisma.dir/src/traffic/voice_source.cpp.o" "gcc" "CMakeFiles/charisma.dir/src/traffic/voice_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

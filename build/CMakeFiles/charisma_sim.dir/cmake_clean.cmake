@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_sim.dir/tools/charisma_sim.cpp.o"
+  "CMakeFiles/charisma_sim.dir/tools/charisma_sim.cpp.o.d"
+  "charisma_sim"
+  "charisma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

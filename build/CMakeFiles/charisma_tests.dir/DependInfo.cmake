@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/analysis_test.cpp" "CMakeFiles/charisma_tests.dir/tests/analysis/analysis_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/analysis/analysis_test.cpp.o.d"
+  "/root/repo/tests/channel/channel_bank_test.cpp" "CMakeFiles/charisma_tests.dir/tests/channel/channel_bank_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/channel/channel_bank_test.cpp.o.d"
+  "/root/repo/tests/channel/csi_test.cpp" "CMakeFiles/charisma_tests.dir/tests/channel/csi_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/channel/csi_test.cpp.o.d"
+  "/root/repo/tests/channel/fading_test.cpp" "CMakeFiles/charisma_tests.dir/tests/channel/fading_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/channel/fading_test.cpp.o.d"
+  "/root/repo/tests/channel/gilbert_elliott_test.cpp" "CMakeFiles/charisma_tests.dir/tests/channel/gilbert_elliott_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/channel/gilbert_elliott_test.cpp.o.d"
+  "/root/repo/tests/channel/shadowing_test.cpp" "CMakeFiles/charisma_tests.dir/tests/channel/shadowing_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/channel/shadowing_test.cpp.o.d"
+  "/root/repo/tests/channel/user_channel_test.cpp" "CMakeFiles/charisma_tests.dir/tests/channel/user_channel_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/channel/user_channel_test.cpp.o.d"
+  "/root/repo/tests/common/config_test.cpp" "CMakeFiles/charisma_tests.dir/tests/common/config_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/logging_test.cpp" "CMakeFiles/charisma_tests.dir/tests/common/logging_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/common/logging_test.cpp.o.d"
+  "/root/repo/tests/common/math_test.cpp" "CMakeFiles/charisma_tests.dir/tests/common/math_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/common/math_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "CMakeFiles/charisma_tests.dir/tests/common/rng_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "CMakeFiles/charisma_tests.dir/tests/common/stats_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "CMakeFiles/charisma_tests.dir/tests/common/table_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/common/table_test.cpp.o.d"
+  "/root/repo/tests/core/charisma_test.cpp" "CMakeFiles/charisma_tests.dir/tests/core/charisma_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/core/charisma_test.cpp.o.d"
+  "/root/repo/tests/core/fairness_test.cpp" "CMakeFiles/charisma_tests.dir/tests/core/fairness_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/core/fairness_test.cpp.o.d"
+  "/root/repo/tests/core/priority_test.cpp" "CMakeFiles/charisma_tests.dir/tests/core/priority_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/core/priority_test.cpp.o.d"
+  "/root/repo/tests/experiment/handoff_test.cpp" "CMakeFiles/charisma_tests.dir/tests/experiment/handoff_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/experiment/handoff_test.cpp.o.d"
+  "/root/repo/tests/experiment/parallel_test.cpp" "CMakeFiles/charisma_tests.dir/tests/experiment/parallel_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/experiment/parallel_test.cpp.o.d"
+  "/root/repo/tests/experiment/report_test.cpp" "CMakeFiles/charisma_tests.dir/tests/experiment/report_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/experiment/report_test.cpp.o.d"
+  "/root/repo/tests/experiment/runner_test.cpp" "CMakeFiles/charisma_tests.dir/tests/experiment/runner_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/experiment/runner_test.cpp.o.d"
+  "/root/repo/tests/experiment/sweep_test.cpp" "CMakeFiles/charisma_tests.dir/tests/experiment/sweep_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/experiment/sweep_test.cpp.o.d"
+  "/root/repo/tests/integration/conservation_test.cpp" "CMakeFiles/charisma_tests.dir/tests/integration/conservation_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/integration/conservation_test.cpp.o.d"
+  "/root/repo/tests/integration/cross_protocol_test.cpp" "CMakeFiles/charisma_tests.dir/tests/integration/cross_protocol_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/integration/cross_protocol_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_injection_test.cpp" "CMakeFiles/charisma_tests.dir/tests/integration/failure_injection_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/geometry_robustness_test.cpp" "CMakeFiles/charisma_tests.dir/tests/integration/geometry_robustness_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/integration/geometry_robustness_test.cpp.o.d"
+  "/root/repo/tests/integration/properties_test.cpp" "CMakeFiles/charisma_tests.dir/tests/integration/properties_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/integration/properties_test.cpp.o.d"
+  "/root/repo/tests/mac/contention_test.cpp" "CMakeFiles/charisma_tests.dir/tests/mac/contention_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/mac/contention_test.cpp.o.d"
+  "/root/repo/tests/mac/energy_test.cpp" "CMakeFiles/charisma_tests.dir/tests/mac/energy_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/mac/energy_test.cpp.o.d"
+  "/root/repo/tests/mac/geometry_test.cpp" "CMakeFiles/charisma_tests.dir/tests/mac/geometry_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/mac/geometry_test.cpp.o.d"
+  "/root/repo/tests/mac/metrics_test.cpp" "CMakeFiles/charisma_tests.dir/tests/mac/metrics_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/mac/metrics_test.cpp.o.d"
+  "/root/repo/tests/mac/mobile_user_test.cpp" "CMakeFiles/charisma_tests.dir/tests/mac/mobile_user_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/mac/mobile_user_test.cpp.o.d"
+  "/root/repo/tests/mac/request_queue_test.cpp" "CMakeFiles/charisma_tests.dir/tests/mac/request_queue_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/mac/request_queue_test.cpp.o.d"
+  "/root/repo/tests/mac/reservation_test.cpp" "CMakeFiles/charisma_tests.dir/tests/mac/reservation_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/mac/reservation_test.cpp.o.d"
+  "/root/repo/tests/phy/adaptive_phy_test.cpp" "CMakeFiles/charisma_tests.dir/tests/phy/adaptive_phy_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/phy/adaptive_phy_test.cpp.o.d"
+  "/root/repo/tests/phy/fixed_phy_test.cpp" "CMakeFiles/charisma_tests.dir/tests/phy/fixed_phy_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/phy/fixed_phy_test.cpp.o.d"
+  "/root/repo/tests/phy/modes_test.cpp" "CMakeFiles/charisma_tests.dir/tests/phy/modes_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/phy/modes_test.cpp.o.d"
+  "/root/repo/tests/protocols/drma_test.cpp" "CMakeFiles/charisma_tests.dir/tests/protocols/drma_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/protocols/drma_test.cpp.o.d"
+  "/root/repo/tests/protocols/dtdma_test.cpp" "CMakeFiles/charisma_tests.dir/tests/protocols/dtdma_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/protocols/dtdma_test.cpp.o.d"
+  "/root/repo/tests/protocols/factory_test.cpp" "CMakeFiles/charisma_tests.dir/tests/protocols/factory_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/protocols/factory_test.cpp.o.d"
+  "/root/repo/tests/protocols/prma_test.cpp" "CMakeFiles/charisma_tests.dir/tests/protocols/prma_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/protocols/prma_test.cpp.o.d"
+  "/root/repo/tests/protocols/rama_test.cpp" "CMakeFiles/charisma_tests.dir/tests/protocols/rama_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/protocols/rama_test.cpp.o.d"
+  "/root/repo/tests/protocols/rmav_test.cpp" "CMakeFiles/charisma_tests.dir/tests/protocols/rmav_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/protocols/rmav_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "CMakeFiles/charisma_tests.dir/tests/sim/event_queue_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/frame_clock_test.cpp" "CMakeFiles/charisma_tests.dir/tests/sim/frame_clock_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/sim/frame_clock_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "CMakeFiles/charisma_tests.dir/tests/sim/simulator_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/traffic/data_source_test.cpp" "CMakeFiles/charisma_tests.dir/tests/traffic/data_source_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/traffic/data_source_test.cpp.o.d"
+  "/root/repo/tests/traffic/voice_source_test.cpp" "CMakeFiles/charisma_tests.dir/tests/traffic/voice_source_test.cpp.o" "gcc" "CMakeFiles/charisma_tests.dir/tests/traffic/voice_source_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/charisma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fading_explorer.dir/examples/fading_explorer.cpp.o"
+  "CMakeFiles/example_fading_explorer.dir/examples/fading_explorer.cpp.o.d"
+  "fading_explorer"
+  "fading_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fading_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_handoff_futurework.dir/examples/handoff_futurework.cpp.o"
+  "CMakeFiles/example_handoff_futurework.dir/examples/handoff_futurework.cpp.o.d"
+  "handoff_futurework"
+  "handoff_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_handoff_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_integrated_services.dir/examples/integrated_services.cpp.o"
+  "CMakeFiles/example_integrated_services.dir/examples/integrated_services.cpp.o.d"
+  "integrated_services"
+  "integrated_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_integrated_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

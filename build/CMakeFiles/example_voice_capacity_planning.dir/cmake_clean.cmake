@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_voice_capacity_planning.dir/examples/voice_capacity_planning.cpp.o"
+  "CMakeFiles/example_voice_capacity_planning.dir/examples/voice_capacity_planning.cpp.o.d"
+  "voice_capacity_planning"
+  "voice_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_voice_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(charisma_tests "/root/repo/build/charisma_tests")
+set_tests_properties(charisma_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;64;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke "/root/repo/build/micro_engine" "--benchmark_min_time=0.01")
+set_tests_properties(bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;79;add_test;/root/repo/CMakeLists.txt;0;")
