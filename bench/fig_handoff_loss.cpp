@@ -1,0 +1,93 @@
+// Handoff extension (paper §6 future work, no figure in the paper): voice
+// packet loss versus user speed in a mobility-driven multi-cell world, all
+// six protocols on the same moving population. Each speed sets both the
+// Doppler spread (fading rate) and the mobility model (handoff rate), so
+// the sweep separates two penalties the single-cell figures conflate:
+// faster fading *and* more frequent cell-boundary crossings.
+//
+// Knobs (besides the bench_support ones):
+//   CHARISMA_BENCH_CELLS   number of cells (default 2)
+//   CHARISMA_BENCH_VOICE   voice users (default 60)
+#include <algorithm>
+#include <iostream>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace charisma;
+  bench::print_banner(
+      "Handoff: voice packet loss versus user speed (multi-cell mobility)",
+      "Kwok & Lau, Sec. 6 future work (no paper figure; CHARISMA extension)");
+
+  const int cells = std::max(2, bench::env_int("CHARISMA_BENCH_CELLS", 2));
+  const int voice_users = bench::env_int("CHARISMA_BENCH_VOICE", 60);
+  const auto spec = bench::standard_spec(/*default_reps=*/1);
+  const double speeds_kmh[] = {3.0, 30.0, 60.0, 120.0};
+
+  mac::CellularConfig base;
+  base.num_cells = cells;
+  base.params.num_voice_users = voice_users;
+  base.params.num_data_users = 5;
+  base.params.channel.shadow_sigma_db = 6.0;
+  // Link budget at the 200 m path-loss reference; a mid-cell user (~400 m)
+  // then sees roughly the single-cell figures' 16 dB operating point.
+  base.params.channel.mean_snr_db = 26.0;
+  base.handoff_hysteresis_db = 4.0;
+  base.mobility.field_width_m = 1000.0 * cells;
+  base.mobility.field_height_m = 1000.0;
+
+  std::cout << cells << " cells, " << voice_users << " voice + "
+            << base.params.num_data_users << " data users, hysteresis "
+            << base.handoff_hysteresis_db << " dB, "
+            << spec.measure_s << " s measured per point\n\n";
+
+  common::TextTable loss_table("Voice packet loss rate vs speed (km/h)");
+  common::TextTable rate_table(
+      "Handoffs per user-minute / voice packets dropped in handoffs");
+  std::vector<std::string> header{"km/h"};
+  for (auto p : protocols::all_protocols()) {
+    header.push_back(protocols::protocol_name(p));
+  }
+  loss_table.set_header(header);
+  rate_table.set_header(header);
+
+  for (const double kmh : speeds_kmh) {
+    std::vector<std::string> loss_row{common::TextTable::num(kmh, 0)};
+    std::vector<std::string> rate_row{common::TextTable::num(kmh, 0)};
+    for (auto id : protocols::all_protocols()) {
+      auto cfg = base;
+      cfg.mobility.speed_mps = common::km_per_hour(kmh);
+      cfg.params.channel.doppler_hz = channel::ChannelConfig::doppler_for_speed(
+          cfg.mobility.speed_mps, 2.0e9);
+      mac::CellularWorld world(cfg, [id](const mac::ScenarioParams& p) {
+        return protocols::make_protocol(id, p);
+      });
+      world.run(spec.warmup_s, spec.measure_s);
+      const auto m = world.aggregate_metrics();
+      loss_row.push_back(common::TextTable::sci(m.voice_loss_rate(), 2));
+      const double per_user_minute =
+          60.0 * static_cast<double>(world.handoffs()) /
+          (spec.measure_s * cfg.params.total_users());
+      rate_row.push_back(common::TextTable::num(per_user_minute, 2) + " / " +
+                         std::to_string(m.voice_dropped_handoff));
+    }
+    loss_table.add_row(std::move(loss_row));
+    rate_table.add_row(std::move(rate_row));
+  }
+
+  loss_table.print(std::cout);
+  bench::maybe_write_csv(loss_table, "fig_handoff_loss");
+  rate_table.print(std::cout);
+
+  std::cout
+      << "\nShape checks:\n"
+      << "  * Handoffs per user-minute grow with speed for every protocol\n"
+      << "    (nonzero at vehicular speed) — the mobility model is live.\n"
+      << "  * Pedestrian users dwell in deep shadow for whole talkspurts;\n"
+      << "    vehicular users churn through it and get rescued by handoff,\n"
+      << "    so loss falls with speed while the handoff signaling rate and\n"
+      << "    in-transit packet drops rise — the classic mobility trade.\n"
+      << "  * CHARISMA keeps its lead at every speed: CSI-ranked allocation\n"
+      << "    adapts to the post-handoff channel within a validity period.\n";
+  return 0;
+}

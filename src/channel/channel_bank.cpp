@@ -196,6 +196,14 @@ void ChannelBank::advance_all_to(common::Time t) {
   }
 }
 
+void ChannelBank::set_mean_snr_db(std::size_t user, double db) {
+  if (user >= configs_.size()) {
+    throw std::out_of_range("ChannelBank::set_mean_snr_db: bad user");
+  }
+  configs_[user].mean_snr_db = db;
+  mean_snr_linear_[user] = common::from_db(db);
+}
+
 double ChannelBank::snr_db(std::size_t user) const {
   return common::to_db(snr_linear(user));
 }

@@ -67,6 +67,17 @@ class ChannelBank {
   /// Advances one user; must be called with non-decreasing times per user.
   void advance_user_to(std::size_t user, common::Time t);
 
+  /// Re-anchors the user's link-budget mean SNR (dB) — the mobility fast
+  /// path: path loss moves the mean while the fading/shadowing processes
+  /// (and the user's RNG draw order) are left completely undisturbed, so a
+  /// mobile run stays replayable against a static one draw for draw.
+  void set_mean_snr_db(std::size_t user, double db);
+
+  /// Current link-budget mean SNR (dB) of `user`.
+  double mean_snr_db(std::size_t user) const {
+    return configs_[user].mean_snr_db;
+  }
+
   /// Instantaneous effective SNR (linear) of `user` at its current state.
   /// The dB→linear shadowing conversion is lazy: an advance only marks it
   /// stale, and the exp() is paid by the first read — protocol frames read

@@ -40,6 +40,11 @@ class UserChannel {
   double snr_linear() const { return bank_->snr_linear(index_); }
   double snr_db() const { return bank_->snr_db(index_); }
 
+  /// Re-anchors the link-budget mean (dB) without disturbing the
+  /// fading/shadowing state or RNG draw order (mobility path loss).
+  void set_mean_snr_db(double db) { bank_->set_mean_snr_db(index_, db); }
+  double mean_snr_db() const { return bank_->mean_snr_db(index_); }
+
   /// Components, exposed for tracing and tests.
   double fading_power() const { return bank_->fading_power(index_); }
   double shadow_db() const { return bank_->shadow_db(index_); }

@@ -34,11 +34,14 @@
 #include "experiment/report.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/sweep.hpp"
+#include "mac/attachment.hpp"
+#include "mac/cellular_world.hpp"
 #include "mac/contention.hpp"
 #include "mac/engine.hpp"
 #include "mac/geometry.hpp"
 #include "mac/metrics.hpp"
 #include "mac/mobile_user.hpp"
+#include "mac/mobility.hpp"
 #include "mac/request_queue.hpp"
 #include "mac/reservation.hpp"
 #include "mac/scenario.hpp"

@@ -62,11 +62,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  if (idx >= static_cast<std::ptrdiff_t>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(idx)];
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -76,6 +82,14 @@ void Histogram::merge(const Histogram& other) {
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double Histogram::clipped_fraction() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(underflow_ + overflow_) /
+         static_cast<double>(total_);
 }
 
 double Histogram::bin_lower(std::size_t i) const {
@@ -86,7 +100,10 @@ double Histogram::quantile(double q) const {
   if (total_ == 0) return lo_;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
-  double cum = 0.0;
+  // The underflow tail occupies the lowest ranks: a target inside it can
+  // only be bounded by the range edge.
+  if (target <= static_cast<double>(underflow_) && q < 1.0) return lo_;
+  double cum = static_cast<double>(underflow_);
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {

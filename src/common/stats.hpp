@@ -63,8 +63,11 @@ class RatioCounter {
   std::int64_t trials_ = 0;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
-/// first/last bin. Used for delay distributions.
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are counted in
+/// separate underflow/overflow tails (never folded into the edge bins, which
+/// would bias the tail quantiles); they still participate in count() and in
+/// quantile() rank bookkeeping, clipped to lo/hi. Used for delay
+/// distributions.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -73,11 +76,22 @@ class Histogram {
   void merge(const Histogram& other);
 
   std::size_t bins() const { return counts_.size(); }
+  /// Total samples recorded, out-of-range tails included.
   std::int64_t count() const { return total_; }
   std::int64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  /// Samples below lo / at-or-above hi. Consumers should warn when these
+  /// carry a nontrivial share of the mass (see experiment::histogram_clip_warning).
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  /// Fraction of the recorded mass that fell outside [lo, hi).
+  double clipped_fraction() const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   double bin_lower(std::size_t i) const;
   /// Value below which the given fraction q (0..1) of samples fall,
-  /// interpolated within the containing bin.
+  /// interpolated within the containing bin. Ranks landing in the underflow
+  /// (overflow) tail report lo (hi) — the closest statement the histogram
+  /// range allows.
   double quantile(double q) const;
 
  private:
@@ -86,6 +100,8 @@ class Histogram {
   double width_;
   std::vector<std::int64_t> counts_;
   std::int64_t total_ = 0;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
 };
 
 /// Symmetric normal-approximation confidence half-width for a sample mean.

@@ -52,6 +52,7 @@ class CharismaProtocol : public mac::ProtocolEngine {
 
  protected:
   common::Time process_frame() override;
+  void on_user_detached(common::UserId id) override;
 
  private:
   struct Reservation {

@@ -53,14 +53,8 @@ HandoffResult run_handoff_study(const HandoffConfig& config,
                               : pilot_db[s] + alpha * (inst_db - pilot_db[s]);
     }
     if (policy == AttachmentPolicy::kStrongestPilot) {
-      int best = attached;
-      for (std::size_t s = 0; s < links.size(); ++s) {
-        if (pilot_db[s] >
-            pilot_db[static_cast<std::size_t>(best)] +
-                (static_cast<int>(s) == attached ? 0.0 : config.hysteresis_db)) {
-          best = static_cast<int>(s);
-        }
-      }
+      const int best =
+          strongest_with_hysteresis(pilot_db, attached, config.hysteresis_db);
       if (best != attached) {
         attached = best;
         ++handoffs;

@@ -19,6 +19,7 @@
 #include "channel/user_channel.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "mac/attachment.hpp"
 
 namespace charisma::experiment {
 
@@ -42,6 +43,11 @@ struct HandoffResult {
   double outage_fraction = 0.0;
   double handoffs_per_second = 0.0;
 };
+
+/// The handoff decision rule lives with the MAC layer (CellularWorld uses
+/// it too); re-exported here where the study's callers historically found
+/// it. See mac/attachment.hpp for the rule and the bug it fixes.
+using mac::strongest_with_hysteresis;
 
 /// Simulates one user for `duration` seconds under the given policy.
 HandoffResult run_handoff_study(const HandoffConfig& config,

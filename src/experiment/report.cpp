@@ -3,8 +3,23 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <sstream>
 
 namespace charisma::experiment {
+
+std::optional<std::string> histogram_clip_warning(
+    const common::Histogram& histogram, const std::string& label,
+    double warn_fraction) {
+  const double clipped = histogram.clipped_fraction();
+  if (histogram.count() == 0 || clipped <= warn_fraction) return std::nullopt;
+  std::ostringstream out;
+  out << "WARNING: " << label << ": " << histogram.underflow() << " below "
+      << histogram.lo() << " and " << histogram.overflow() << " at/above "
+      << histogram.hi() << " of " << histogram.count() << " samples ("
+      << common::TextTable::num(100.0 * clipped, 1)
+      << "%) fell outside the histogram range; tail quantiles are clipped.";
+  return out.str();
+}
 
 common::TextTable figure_table(
     const std::string& title, const std::string& x_label,

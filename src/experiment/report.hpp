@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "experiment/sweep.hpp"
 
@@ -30,6 +31,14 @@ common::TextTable figure_table(
 /// and the largest swept x when no point does.
 std::optional<double> capacity_at_threshold(
     const std::vector<std::pair<int, double>>& series, double threshold);
+
+/// Warning line when more than `warn_fraction` of the histogram's mass fell
+/// outside its [lo, hi) range — quantiles read off it are then clipped at
+/// the range edges and should not be trusted. nullopt when the histogram is
+/// healthy (or empty).
+std::optional<std::string> histogram_clip_warning(
+    const common::Histogram& histogram, const std::string& label,
+    double warn_fraction = 0.01);
 
 /// Capacity summary table: users supported at the threshold per protocol.
 common::TextTable capacity_table(

@@ -15,14 +15,20 @@ void ReplicatedResult::add(const mac::ProtocolMetrics& metrics) {
   slot_waste.add(metrics.slot_waste_ratio());
   request_success.add(metrics.request_success_ratio());
   voice_loss_pooled.add_many(
-      metrics.voice_dropped_deadline + metrics.voice_error_lost,
+      metrics.voice_dropped_deadline + metrics.voice_error_lost +
+          metrics.voice_dropped_handoff,
       metrics.voice_generated);
+  data_delay_pooled.merge(metrics.data_delay_hist);
 }
 
 std::uint64_t replication_seed(std::uint64_t base_seed,
                                std::uint64_t point_key, int rep) {
-  return common::derive_seed(base_seed,
-                             point_key * 1024 + static_cast<std::uint64_t>(rep));
+  // Chain two derivations instead of packing (point_key, rep) into one
+  // stream id: `point_key * 1024 + rep` collides as soon as rep >= 1024 or
+  // two point keys differ by rep/1024, silently reusing a replication's
+  // whole world.
+  return common::derive_seed(common::derive_seed(base_seed, point_key),
+                             static_cast<std::uint64_t>(rep));
 }
 
 ReplicatedResult run_replications(protocols::ProtocolId protocol,

@@ -43,6 +43,12 @@ struct ReplicatedResult {
   // Pooled raw counters (for Wilson intervals on proportions).
   common::RatioCounter voice_loss_pooled;  ///< "success" = packet lost
 
+  /// Pooled data-delay distribution across replications (tail quantiles;
+  /// check histogram_clip_warning before trusting them).
+  common::Histogram data_delay_pooled{mac::ProtocolMetrics::kDelayHistLo,
+                                      mac::ProtocolMetrics::kDelayHistHi,
+                                      mac::ProtocolMetrics::kDelayHistBins};
+
   void add(const mac::ProtocolMetrics& metrics);
 };
 

@@ -1,0 +1,29 @@
+#include "mac/attachment.hpp"
+
+#include <stdexcept>
+
+namespace charisma::mac {
+
+int strongest_with_hysteresis(const std::vector<double>& pilot_db,
+                              int attached, double hysteresis_db) {
+  if (pilot_db.empty()) {
+    throw std::invalid_argument("strongest_with_hysteresis: no stations");
+  }
+  if (attached < 0 || attached >= static_cast<int>(pilot_db.size())) {
+    throw std::invalid_argument("strongest_with_hysteresis: bad attachment");
+  }
+  const double bar =
+      pilot_db[static_cast<std::size_t>(attached)] + hysteresis_db;
+  int best = attached;
+  double best_pilot = bar;
+  for (std::size_t s = 0; s < pilot_db.size(); ++s) {
+    if (static_cast<int>(s) == attached) continue;
+    if (pilot_db[s] > best_pilot) {
+      best = static_cast<int>(s);
+      best_pilot = pilot_db[s];
+    }
+  }
+  return best;
+}
+
+}  // namespace charisma::mac

@@ -1,0 +1,19 @@
+// The cell-attachment decision rule shared by CellularWorld and the
+// experiment-layer handoff study.
+#pragma once
+
+#include <vector>
+
+namespace charisma::mac {
+
+/// Among stations whose filtered pilot exceeds the *attached* station's
+/// pilot by more than `hysteresis_db`, returns the strongest; returns
+/// `attached` when none qualifies. Every challenger is measured against the
+/// attached pilot — measuring challengers against the running maximum (the
+/// historical bug) let a weaker station scanned earlier raise the bar and
+/// block the strongest one, so the handoff target was scan-order dependent
+/// and not the strongest eligible pilot.
+int strongest_with_hysteresis(const std::vector<double>& pilot_db,
+                              int attached, double hysteresis_db);
+
+}  // namespace charisma::mac

@@ -1,0 +1,187 @@
+#include "mac/cellular_world.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mac/attachment.hpp"
+
+namespace charisma::mac {
+
+namespace {
+// Stream-id name spaces (see mobile_user.cpp for the per-user ones).
+constexpr std::uint64_t kMobilityStream = 0x8000'0000ULL;
+constexpr std::uint64_t kCellSeedStream = 0x9000'0000ULL;
+constexpr double kTimeEps = 1e-9;
+}  // namespace
+
+CellularWorld::CellularWorld(const CellularConfig& config,
+                             const EngineFactory& factory)
+    : config_(config),
+      mobility_(config.mobility, config.params.total_users(),
+                common::RngStream(config.params.seed, kMobilityStream)) {
+  if (!config.valid()) {
+    throw std::invalid_argument("CellularWorld: invalid configuration");
+  }
+  if (!factory) {
+    throw std::invalid_argument("CellularWorld: null engine factory");
+  }
+  place_sites();
+  cells_.reserve(static_cast<std::size_t>(config_.num_cells));
+  for (int c = 0; c < config_.num_cells; ++c) {
+    // Decorrelated sub-seed per cell: the same user's links to different
+    // base stations fade and shadow independently (independent sites),
+    // which is precisely the diversity a handoff exploits.
+    ScenarioParams cell_params = config_.params;
+    cell_params.seed = common::derive_seed(
+        config_.params.seed, kCellSeedStream + static_cast<std::uint64_t>(c));
+    if (config_.shadow_decorrelation_m > 0.0 &&
+        config_.mobility.speed_mps > 0.0) {
+      // Shadowing decorrelates over distance travelled, not wall time.
+      cell_params.channel.shadow_tau =
+          config_.shadow_decorrelation_m / config_.mobility.speed_mps;
+    }
+    auto engine = factory(cell_params);
+    if (!engine) {
+      throw std::invalid_argument("CellularWorld: factory returned null");
+    }
+    cells_.push_back(std::move(engine));
+  }
+  pilot_alpha_ =
+      1.0 - std::exp(-config_.decision_interval / config_.pilot_filter_tau);
+
+  const auto users = static_cast<std::size_t>(config_.params.total_users());
+  attached_.assign(users, 0);
+  pilot_db_.assign(users, std::vector<double>(
+                              static_cast<std::size_t>(config_.num_cells)));
+  update_mean_snrs();
+  initialize_attachments();
+}
+
+void CellularWorld::place_sites() {
+  // Sites evenly spaced along the field's horizontal midline: users moving
+  // across the width sweep through every cell boundary.
+  sites_.clear();
+  const double step =
+      config_.mobility.field_width_m / static_cast<double>(config_.num_cells);
+  for (int c = 0; c < config_.num_cells; ++c) {
+    sites_.push_back({(static_cast<double>(c) + 0.5) * step,
+                      config_.mobility.field_height_m * 0.5});
+  }
+}
+
+double CellularWorld::mean_snr_at_distance_db(double d_m) const {
+  const double d = std::max(d_m, config_.min_distance_m);
+  return config_.params.channel.mean_snr_db -
+         10.0 * config_.path_loss_exponent *
+             std::log10(d / config_.reference_distance_m);
+}
+
+void CellularWorld::update_mean_snrs() {
+  const int users = config_.params.total_users();
+  for (int u = 0; u < users; ++u) {
+    const Vec2 pos = mobility_.position(u);
+    for (int c = 0; c < config_.num_cells; ++c) {
+      const double db = mean_snr_at_distance_db(
+          distance_m(pos, sites_[static_cast<std::size_t>(c)]));
+      cells_[static_cast<std::size_t>(c)]->channel_bank().set_mean_snr_db(
+          static_cast<std::size_t>(u), db);
+    }
+  }
+}
+
+void CellularWorld::initialize_attachments() {
+  const int users = config_.params.total_users();
+  for (int u = 0; u < users; ++u) {
+    auto& pilots = pilot_db_[static_cast<std::size_t>(u)];
+    int best = 0;
+    for (int c = 0; c < config_.num_cells; ++c) {
+      pilots[static_cast<std::size_t>(c)] =
+          cells_[static_cast<std::size_t>(c)]->channel_bank().snr_db(
+              static_cast<std::size_t>(u));
+      if (pilots[static_cast<std::size_t>(c)] >
+          pilots[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    attached_[static_cast<std::size_t>(u)] = best;
+    // Initial placement, not a handoff: no counters, no state carry.
+    for (int c = 0; c < config_.num_cells; ++c) {
+      if (c != best) {
+        cells_[static_cast<std::size_t>(c)]
+            ->user(static_cast<common::UserId>(u))
+            .set_present(false);
+      }
+    }
+  }
+}
+
+void CellularWorld::update_pilots_and_attachments() {
+  const int users = config_.params.total_users();
+  for (int u = 0; u < users; ++u) {
+    auto& pilots = pilot_db_[static_cast<std::size_t>(u)];
+    for (int c = 0; c < config_.num_cells; ++c) {
+      const double inst =
+          cells_[static_cast<std::size_t>(c)]->channel_bank().snr_db(
+              static_cast<std::size_t>(u));
+      auto& pilot = pilots[static_cast<std::size_t>(c)];
+      pilot += pilot_alpha_ * (inst - pilot);
+    }
+    const int from = attached_[static_cast<std::size_t>(u)];
+    const int to =
+        strongest_with_hysteresis(pilots, from, config_.handoff_hysteresis_db);
+    if (to != from) {
+      handoff(static_cast<common::UserId>(u), from, to);
+    }
+  }
+}
+
+void CellularWorld::handoff(common::UserId user, int from, int to) {
+  auto& source = *cells_[static_cast<std::size_t>(from)];
+  auto& target = *cells_[static_cast<std::size_t>(to)];
+  // Carry the service state over, then drop what cannot survive the break:
+  // the in-flight voice packet dies in transit (counted by the source cell
+  // as voice_dropped_handoff); the data backlog rides along.
+  target.user(user).adopt_service_state(source.user(user));
+  target.user(user).drop_pending_voice();
+  source.detach_user(user);
+  target.attach_user(user);
+  attached_[static_cast<std::size_t>(user)] = to;
+  ++handoffs_;
+}
+
+void CellularWorld::run_window(common::Time duration) {
+  common::Time remaining = duration;
+  while (remaining > kTimeEps) {
+    const common::Time dt = std::min(config_.decision_interval, remaining);
+    mobility_.advance_to(now_ + dt);
+    update_mean_snrs();
+    update_pilots_and_attachments();
+    for (auto& cell : cells_) {
+      cell->advance_by(dt);
+    }
+    now_ += dt;
+    remaining -= dt;
+  }
+}
+
+void CellularWorld::run(common::Time warmup, common::Time measure) {
+  if (warmup < 0.0 || measure <= 0.0) {
+    throw std::invalid_argument("CellularWorld::run: invalid durations");
+  }
+  run_window(warmup);
+  for (auto& cell : cells_) {
+    cell->reset_metrics();
+  }
+  handoffs_ = 0;
+  run_window(measure);
+}
+
+ProtocolMetrics CellularWorld::aggregate_metrics() const {
+  ProtocolMetrics aggregate;
+  for (const auto& cell : cells_) {
+    aggregate.merge(cell->metrics());
+  }
+  return aggregate;
+}
+
+}  // namespace charisma::mac

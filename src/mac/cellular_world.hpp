@@ -1,0 +1,136 @@
+// Multi-cell mobility scenario layer — the paper's §6 future-work question
+// ("to which new base station should the user attach, from a channel
+// quality point of view?") promoted from a side study to a first-class
+// simulation workload.
+//
+// A CellularWorld owns one ProtocolEngine per cell. Every engine
+// instantiates the full user population (same ids everywhere), but each
+// user is *present* — generating traffic, contending, holding reservations
+// — in exactly one cell at a time. Each decision epoch the world:
+//
+//   1. moves every user (MobilityModel),
+//   2. re-anchors each (user, cell) link's mean SNR from distance-based
+//      path loss (ChannelBank::set_mean_snr_db — fading/shadowing state and
+//      RNG draw order untouched),
+//   3. updates per-(user, cell) filtered pilots and applies the
+//      strongest-with-hysteresis attachment rule
+//      (mac::strongest_with_hysteresis — every challenger measured
+//      against the *attached* pilot), executing handoffs that carry the
+//      user's traffic/backoff state into the target cell while the source
+//      protocol releases its reservation and queued requests,
+//   4. advances every engine by one epoch of MAC frames.
+//
+// Handoffs, voice packets dropped in transit, and per-cell load all land in
+// ProtocolMetrics, so the existing reporting stack works unchanged.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mac/engine.hpp"
+#include "mac/mobility.hpp"
+#include "mac/scenario.hpp"
+
+namespace charisma::mac {
+
+struct CellularConfig {
+  int num_cells = 2;
+
+  /// Per-cell protocol scenario. The population is the whole world's (every
+  /// engine instantiates all of it); `params.seed` roots the world — cells
+  /// derive decorrelated sub-seeds so the same user fades independently on
+  /// each cell's link. `params.channel.mean_snr_db` is re-interpreted as
+  /// the link budget at `reference_distance_m` from a base station.
+  ScenarioParams params{};
+
+  MobilityConfig mobility{};
+
+  /// Attachment policy (mac::strongest_with_hysteresis inputs).
+  double handoff_hysteresis_db = 4.0;
+  /// Pilot low-pass filter time constant (s) — suppresses fading-rate
+  /// ping-pong.
+  common::Time pilot_filter_tau = 0.2;
+  /// Mobility/attachment decision cadence (s).
+  common::Time decision_interval = 20e-3;
+
+  // ---- Distance -> mean SNR (log-distance path loss) ----
+  double path_loss_exponent = 3.5;
+  double reference_distance_m = 200.0;
+  /// Distances clamp here so a user standing on a site keeps a finite SNR.
+  double min_distance_m = 10.0;
+
+  /// Shadowing decorrelation *distance* (Gudmundson): when > 0 and users
+  /// move, each cell's shadow_tau is derived as distance / speed, so slow
+  /// users see slowly evolving shadowing and vehicular users churn through
+  /// it — which is what makes the handoff rate speed-dependent. 0 keeps
+  /// params.channel.shadow_tau as configured.
+  double shadow_decorrelation_m = 25.0;
+
+  bool valid() const {
+    return num_cells >= 1 && params.valid() && mobility.valid() &&
+           handoff_hysteresis_db >= 0.0 && pilot_filter_tau > 0.0 &&
+           decision_interval > 0.0 && path_loss_exponent > 0.0 &&
+           reference_distance_m > 0.0 && min_distance_m > 0.0 &&
+           shadow_decorrelation_m >= 0.0;
+  }
+};
+
+/// Builds the protocol engine for one cell (typically wraps
+/// protocols::make_protocol; injected to keep mac/ independent of the
+/// protocol catalogue).
+using EngineFactory =
+    std::function<std::unique_ptr<ProtocolEngine>(const ScenarioParams&)>;
+
+class CellularWorld {
+ public:
+  CellularWorld(const CellularConfig& config, const EngineFactory& factory);
+
+  /// Runs `warmup` seconds (all metrics then reset, handoff counter
+  /// included), then `measure` seconds, in decision-interval epochs. May be
+  /// called repeatedly; windows are monotone like ProtocolEngine::run.
+  void run(common::Time warmup, common::Time measure);
+
+  int num_cells() const { return static_cast<int>(cells_.size()); }
+  ProtocolEngine& cell(int c) { return *cells_.at(static_cast<std::size_t>(c)); }
+  const ProtocolMetrics& cell_metrics(int c) const {
+    return cells_.at(static_cast<std::size_t>(c))->metrics();
+  }
+  /// Sum/merge of every cell's metrics — the whole-world view.
+  ProtocolMetrics aggregate_metrics() const;
+
+  /// Handoffs executed since the last metrics reset.
+  std::int64_t handoffs() const { return handoffs_; }
+  int attached_cell(common::UserId user) const {
+    return attached_.at(static_cast<std::size_t>(user));
+  }
+  Vec2 site_position(int c) const {
+    return sites_.at(static_cast<std::size_t>(c));
+  }
+  const MobilityModel& mobility() const { return mobility_; }
+  common::Time now() const { return now_; }
+
+  /// Mean SNR (dB) the path-loss model assigns at distance `d_m` — exposed
+  /// for tests and the bench's sanity prints.
+  double mean_snr_at_distance_db(double d_m) const;
+
+ private:
+  void place_sites();
+  void initialize_attachments();
+  void update_mean_snrs();
+  void update_pilots_and_attachments();
+  void handoff(common::UserId user, int from, int to);
+  void run_window(common::Time duration);
+
+  CellularConfig config_;
+  std::vector<std::unique_ptr<ProtocolEngine>> cells_;
+  std::vector<Vec2> sites_;
+  MobilityModel mobility_;
+  std::vector<int> attached_;                  ///< per-user cell index
+  std::vector<std::vector<double>> pilot_db_;  ///< [user][cell], filtered
+  double pilot_alpha_ = 1.0;
+  std::int64_t handoffs_ = 0;
+  common::Time now_ = 0.0;
+};
+
+}  // namespace charisma::mac

@@ -55,14 +55,41 @@ const ProtocolMetrics& ProtocolEngine::run(common::Time warmup,
   if (warmup < 0.0 || measure <= 0.0) {
     throw std::invalid_argument("ProtocolEngine::run: invalid durations");
   }
+  // Durations are relative to now(): a second run() continues the same
+  // simulation and measures its own window. (Absolute durations would make
+  // a repeated call with warmup <= now() silently return a zero-frame
+  // window whose rate helpers divide by zero.)
+  advance_by(warmup);
+  metrics_.reset();
+  advance_by(measure);
+  return metrics_;
+}
+
+void ProtocolEngine::advance_by(common::Time duration) {
+  if (duration <= 0.0) return;
   if (!started_) {
     started_ = true;
-    sim_.schedule_at(0.0, [this] { frame_event(); });
+    sim_.schedule_at(sim_.now(), [this] { frame_event(); });
   }
-  sim_.run_until(warmup);
-  metrics_.reset();
-  sim_.run_until(warmup + measure);
-  return metrics_;
+  sim_.run_until(sim_.now() + duration);
+}
+
+void ProtocolEngine::detach_user(common::UserId id) {
+  auto& u = user(id);
+  if (!u.present()) return;
+  on_user_detached(id);
+  if (u.is_voice()) {
+    metrics_.voice_dropped_handoff += u.drop_pending_voice();
+  }
+  ++metrics_.handoffs_out;
+  u.set_present(false);
+}
+
+void ProtocolEngine::attach_user(common::UserId id) {
+  auto& u = user(id);
+  if (u.present()) return;
+  ++metrics_.handoffs_in;
+  u.set_present(true);
 }
 
 void ProtocolEngine::frame_event() {
@@ -80,9 +107,16 @@ void ProtocolEngine::frame_event() {
 void ProtocolEngine::advance_world() {
   const common::Time t = sim_.now();
   // One batched SoA pass over every user's fading/shadowing state instead
-  // of per-user pointer-chasing walks.
+  // of per-user pointer-chasing walks. Detached users' channels keep
+  // evolving (their pilots are what the attachment policy measures and the
+  // draw order must not depend on the attachment pattern); only their
+  // traffic is frozen — the attached cell's copy is authoritative and is
+  // carried over on handoff.
   bank_.advance_all_to(t);
+  std::int64_t present = 0;
   for (auto& u : users_) {
+    if (!u.present()) continue;
+    ++present;
     if (u.is_voice()) {
       const auto update = u.voice().on_frame(t);
       metrics_.voice_generated += update.packets_generated;
@@ -92,6 +126,7 @@ void ProtocolEngine::advance_world() {
       metrics_.data_generated += update.packets_arrived;
     }
   }
+  metrics_.attached_user_frames += present;
 }
 
 double ProtocolEngine::permission_prob(const MobileUser& u) const {
@@ -230,6 +265,7 @@ int ProtocolEngine::transmit_data_fixed(MobileUser& u) {
   if (fixed_phy_.transmit_packet(u.channel().snr_linear(), u.rng())) {
     ++metrics_.data_delivered;
     metrics_.data_delay_s.add(sim_.now() - arrival);
+    metrics_.data_delay_hist.add(sim_.now() - arrival);
     note_user_delivery(u.id(), 1);
     return 1;
   }
@@ -260,6 +296,7 @@ int ProtocolEngine::transmit_data_adaptive(MobileUser& u, int mode,
     if (adaptive_phy_.transmit_packet(mode, snr, u.rng())) {
       ++metrics_.data_delivered;
       metrics_.data_delay_s.add(t - arrival);
+      metrics_.data_delay_hist.add(t - arrival);
       ++delivered;
     } else {
       ++metrics_.data_retransmissions;

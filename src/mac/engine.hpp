@@ -35,9 +35,34 @@ class ProtocolEngine {
   virtual std::string name() const = 0;
 
   /// Runs `warmup` seconds (statistics discarded), then `measure` seconds,
-  /// and returns the metrics collected during measurement. May be called
-  /// once per engine instance.
+  /// and returns the metrics collected during measurement. Both durations
+  /// are relative to now(), so repeated calls are window-monotonic: each
+  /// call continues the same simulation and measures its own fresh window.
+  /// warmup must be >= 0 and measure > 0.
   const ProtocolMetrics& run(common::Time warmup, common::Time measure);
+
+  /// Advances the simulation `duration` seconds past now() without touching
+  /// the accumulated metrics — the building block CellularWorld uses to
+  /// interleave frames with mobility/attachment epochs. No-op when
+  /// duration <= 0.
+  void advance_by(common::Time duration);
+
+  /// Discards everything measured so far (run() does this after warmup).
+  void reset_metrics() { metrics_.reset(); }
+
+  // ---- Multi-cell attachment (CellularWorld) ----
+
+  /// Removes the user from this cell's active population: the protocol
+  /// releases any per-user state it holds (reservation, queued requests),
+  /// in-flight voice packets are dropped and counted as
+  /// voice_dropped_handoff, and the user stops generating traffic or
+  /// contending here. No-op when already detached.
+  void detach_user(common::UserId id);
+
+  /// (Re-)admits the user to this cell's active population. The caller is
+  /// responsible for carrying the user's service state in first
+  /// (MobileUser::adopt_service_state). No-op when already attached.
+  void attach_user(common::UserId id);
 
   const ProtocolMetrics& metrics() const { return metrics_; }
   const ScenarioParams& params() const { return params_; }
@@ -55,6 +80,11 @@ class ProtocolEngine {
   /// One frame of protocol operation at sim time now(); returns the frame
   /// duration consumed (> 0).
   virtual common::Time process_frame() = 0;
+
+  /// Protocol hook run by detach_user before the user goes absent: release
+  /// every per-user structure the protocol holds (reservations, queue
+  /// entries, grants, CSI cache). Default: nothing to release.
+  virtual void on_user_detached(common::UserId /*id*/) {}
 
   // ---- World helpers ----
 

@@ -1,14 +1,56 @@
 #include "mac/metrics.hpp"
 
+#include <algorithm>
+
 namespace charisma::mac {
 
 namespace {
 double safe_div(double num, double den) { return den > 0.0 ? num / den : 0.0; }
 }  // namespace
 
+void ProtocolMetrics::merge(const ProtocolMetrics& other) {
+  frames += other.frames;
+  measured_time = std::max(measured_time, other.measured_time);
+  voice_generated += other.voice_generated;
+  voice_delivered += other.voice_delivered;
+  voice_dropped_deadline += other.voice_dropped_deadline;
+  voice_error_lost += other.voice_error_lost;
+  data_generated += other.data_generated;
+  data_delivered += other.data_delivered;
+  data_tx_attempts += other.data_tx_attempts;
+  data_retransmissions += other.data_retransmissions;
+  data_delay_s.merge(other.data_delay_s);
+  data_delay_hist.merge(other.data_delay_hist);
+  handoffs_in += other.handoffs_in;
+  handoffs_out += other.handoffs_out;
+  voice_dropped_handoff += other.voice_dropped_handoff;
+  attached_user_frames += other.attached_user_frames;
+  request_slots += other.request_slots;
+  request_successes += other.request_successes;
+  request_collisions += other.request_collisions;
+  request_idle += other.request_idle;
+  info_slots_offered += other.info_slots_offered;
+  info_slots_assigned += other.info_slots_assigned;
+  info_slots_wasted += other.info_slots_wasted;
+  csi_polls += other.csi_polls;
+  csi_stale_allocations += other.csi_stale_allocations;
+  acks_lost += other.acks_lost;
+  energy_request_j += other.energy_request_j;
+  energy_info_j += other.energy_info_j;
+  energy_pilot_j += other.energy_pilot_j;
+  energy_wasted_j += other.energy_wasted_j;
+  if (per_user_delivered.size() < other.per_user_delivered.size()) {
+    per_user_delivered.resize(other.per_user_delivered.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.per_user_delivered.size(); ++i) {
+    per_user_delivered[i] += other.per_user_delivered[i];
+  }
+}
+
 double ProtocolMetrics::voice_loss_rate() const {
   return safe_div(
-      static_cast<double>(voice_dropped_deadline + voice_error_lost),
+      static_cast<double>(voice_dropped_deadline + voice_error_lost +
+                          voice_dropped_handoff),
       static_cast<double>(voice_generated));
 }
 
@@ -44,6 +86,20 @@ double ProtocolMetrics::slot_utilization() const {
 double ProtocolMetrics::slot_waste_ratio() const {
   return safe_div(static_cast<double>(info_slots_wasted),
                   static_cast<double>(info_slots_offered));
+}
+
+double ProtocolMetrics::voice_handoff_drop_rate() const {
+  return safe_div(static_cast<double>(voice_dropped_handoff),
+                  static_cast<double>(voice_generated));
+}
+
+double ProtocolMetrics::mean_attached_users() const {
+  return safe_div(static_cast<double>(attached_user_frames),
+                  static_cast<double>(frames));
+}
+
+double ProtocolMetrics::handoff_rate_hz() const {
+  return safe_div(static_cast<double>(handoffs_out), measured_time);
 }
 
 double ProtocolMetrics::jain_fairness_index(std::size_t first,

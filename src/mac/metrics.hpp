@@ -13,11 +13,18 @@
 namespace charisma::mac {
 
 struct ProtocolMetrics {
+  /// Geometry of the data-delay histogram (shared with the experiment
+  /// aggregators so replications merge exactly).
+  static constexpr double kDelayHistLo = 0.0;
+  static constexpr double kDelayHistHi = 5.0;
+  static constexpr std::size_t kDelayHistBins = 500;
+
   // Measurement window.
   std::int64_t frames = 0;
   common::Time measured_time = 0.0;
 
-  // Voice accounting. loss = dropped (deadline) + error (channel).
+  // Voice accounting. loss = dropped (deadline) + error (channel) +
+  // dropped (handoff).
   std::int64_t voice_generated = 0;
   std::int64_t voice_delivered = 0;
   std::int64_t voice_dropped_deadline = 0;
@@ -29,6 +36,22 @@ struct ProtocolMetrics {
   std::int64_t data_tx_attempts = 0;
   std::int64_t data_retransmissions = 0;
   common::Accumulator data_delay_s;  ///< arrival -> successful tx start
+  /// Delay distribution for tail quantiles; out-of-range mass is tracked in
+  /// the histogram's underflow/overflow tails (histogram_clip_warning).
+  common::Histogram data_delay_hist{kDelayHistLo, kDelayHistHi,
+                                    kDelayHistBins};
+
+  // Multi-cell mobility accounting (CellularWorld). In a single-cell run
+  // the handoff counters stay zero; attached_user_frames still counts the
+  // full (always-present) population.
+  std::int64_t handoffs_in = 0;   ///< users handed into this cell
+  std::int64_t handoffs_out = 0;  ///< users handed out of this cell
+  /// Voice packets in flight at the instant of a handoff out (lost in
+  /// transit; part of voice_loss_rate()).
+  std::int64_t voice_dropped_handoff = 0;
+  /// Sum over frames of the attached-population size — per-cell load;
+  /// divide by frames for the mean (mean_attached_users()).
+  std::int64_t attached_user_frames = 0;
 
   // Request-phase accounting (per minislot).
   std::int64_t request_slots = 0;
@@ -62,14 +85,23 @@ struct ProtocolMetrics {
 
   void reset() { *this = ProtocolMetrics{}; }
 
+  /// Accumulates another cell's (or replication's) counters into this one —
+  /// the aggregate view CellularWorld reports. Counters add; accumulators
+  /// and histograms merge; measured_time takes the max (cells run in
+  /// lockstep, so their windows coincide rather than concatenate).
+  void merge(const ProtocolMetrics& other);
+
   // ---- Derived quantities (guard against empty windows) ----
 
-  /// Paper Eq. (3): fraction of voice packets not received intact.
+  /// Paper Eq. (3): fraction of voice packets not received intact
+  /// (deadline drops + channel errors + handoff drops).
   double voice_loss_rate() const;
   /// Deadline-drop component only.
   double voice_drop_rate() const;
   /// Channel-error component only.
   double voice_error_rate() const;
+  /// Handoff-drop component only.
+  double voice_handoff_drop_rate() const;
 
   /// Paper §5.2: average data packets successfully received per frame.
   double data_throughput_per_frame() const;
@@ -79,6 +111,11 @@ struct ProtocolMetrics {
   double request_success_ratio() const;
   double slot_utilization() const;
   double slot_waste_ratio() const;
+
+  /// Mean number of attached users per frame (per-cell load).
+  double mean_attached_users() const;
+  /// Handoffs out of this cell per measured second.
+  double handoff_rate_hz() const;
 
   /// Jain's fairness index over per-user delivered packets restricted to
   /// the users in [first, last]: (sum x)^2 / (n * sum x^2); 1 = perfectly

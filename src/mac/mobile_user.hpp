@@ -44,6 +44,33 @@ class MobileUser {
 
   common::RngStream& rng() { return rng_; }
 
+  // ---- Multi-cell presence (CellularWorld) ----
+  // Every cell's engine instantiates the full population; a user is
+  // `present` only in the cell it is attached to. Absent users generate no
+  // traffic and never contend — their channel keeps evolving so the
+  // attachment policy can measure their pilot.
+
+  bool present() const { return present_; }
+  void set_present(bool present) { present_ = present; }
+
+  /// Carries the user's service state into this cell on handoff: traffic
+  /// sources (talkspurt phase, pending packets, data backlog — the
+  /// continuity a handoff must preserve) and the contention backoff scale.
+  /// The channel is *not* carried: each cell's link fades independently.
+  void adopt_service_state(const MobileUser& other) {
+    voice_ = other.voice_;
+    data_ = other.data_;
+    backoff_scale_ = other.backoff_scale_;
+  }
+
+  /// Drops the in-flight voice packet, if any (lost in transit during a
+  /// handoff). Returns the number of packets dropped (0 or 1).
+  int drop_pending_voice() {
+    if (!voice_ || !voice_->has_packet()) return 0;
+    voice_->consume_packet();
+    return 1;
+  }
+
   // ---- Contention backoff stabilization ----
   // Slotted-ALOHA-style request phases are bistable: once the contender
   // population exceeds ~1/p, collisions starve everyone (thrashing). Real
@@ -60,6 +87,7 @@ class MobileUser {
 
  private:
   double backoff_scale_ = 1.0;
+  bool present_ = true;
   common::UserId id_;
   ServiceType service_;
   common::RngStream rng_;

@@ -1,0 +1,126 @@
+#include "mac/mobility.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace charisma::mac {
+
+double distance_m(const Vec2& a, const Vec2& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+MobilityModel::MobilityModel(const MobilityConfig& config, int num_users,
+                             common::RngStream rng)
+    : config_(config), rng_(std::move(rng)) {
+  if (!config.valid() || num_users < 0) {
+    throw std::invalid_argument("MobilityModel: invalid configuration");
+  }
+  users_.resize(static_cast<std::size_t>(num_users));
+  for (auto& u : users_) {
+    u.pos = {rng_.uniform(0.0, config_.field_width_m),
+             rng_.uniform(0.0, config_.field_height_m)};
+    if (config_.model == MobilityConfig::Model::kConstantVelocity) {
+      const double heading = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+      u.vel = {config_.speed_mps * std::cos(heading),
+               config_.speed_mps * std::sin(heading)};
+    } else {
+      pick_waypoint(u);
+    }
+  }
+}
+
+void MobilityModel::advance_to(common::Time t) {
+  if (t < now_) {
+    throw std::logic_error("MobilityModel::advance_to: time went backwards");
+  }
+  const common::Time dt = t - now_;
+  if (dt <= 0.0 || config_.speed_mps <= 0.0) {
+    now_ = t;
+    return;
+  }
+  for (auto& u : users_) {
+    if (config_.model == MobilityConfig::Model::kConstantVelocity) {
+      advance_constant_velocity(u, dt);
+    } else {
+      advance_random_waypoint(u, now_, dt);
+    }
+  }
+  now_ = t;
+}
+
+void MobilityModel::advance_constant_velocity(UserState& u, common::Time dt) {
+  // Specular reflection: fold the unbounded straight-line position back
+  // into the field. One axis at a time; each fold flips the velocity sign.
+  auto reflect = [](double& x, double& v, double span) {
+    // Fold into [0, 2*span) then mirror the upper half.
+    x = std::fmod(x, 2.0 * span);
+    if (x < 0.0) x += 2.0 * span;
+    if (x >= span) {
+      x = 2.0 * span - x;
+      v = -v;
+    }
+  };
+  u.pos.x += u.vel.x * dt;
+  u.pos.y += u.vel.y * dt;
+  reflect(u.pos.x, u.vel.x, config_.field_width_m);
+  reflect(u.pos.y, u.vel.y, config_.field_height_m);
+}
+
+void MobilityModel::advance_random_waypoint(UserState& u, common::Time now,
+                                            common::Time dt) {
+  common::Time remaining = dt;
+  common::Time t = now;
+  // Segment walk: pause -> leg to waypoint -> new waypoint, consuming the
+  // epoch in pieces (an epoch can span several short legs).
+  while (remaining > 0.0) {
+    if (t < u.pause_until) {
+      const common::Time wait = std::min(remaining, u.pause_until - t);
+      t += wait;
+      remaining -= wait;
+      continue;
+    }
+    const double leg = distance_m(u.pos, u.waypoint);
+    if (leg <= 1e-9) {
+      pick_waypoint(u);
+      if (config_.pause_s > 0.0) {
+        u.pause_until = t + config_.pause_s;
+        u.vel = {0.0, 0.0};
+      }
+      continue;
+    }
+    const common::Time travel = leg / config_.speed_mps;
+    const double ux = (u.waypoint.x - u.pos.x) / leg;
+    const double uy = (u.waypoint.y - u.pos.y) / leg;
+    u.vel = {config_.speed_mps * ux, config_.speed_mps * uy};
+    if (travel <= remaining) {
+      u.pos = u.waypoint;
+      t += travel;
+      remaining -= travel;
+    } else {
+      u.pos.x += u.vel.x * remaining;
+      u.pos.y += u.vel.y * remaining;
+      remaining = 0.0;
+    }
+  }
+}
+
+void MobilityModel::pick_waypoint(UserState& u) {
+  u.waypoint = {rng_.uniform(0.0, config_.field_width_m),
+                rng_.uniform(0.0, config_.field_height_m)};
+}
+
+Vec2 MobilityModel::position(int user) const {
+  return users_.at(static_cast<std::size_t>(user)).pos;
+}
+
+Vec2 MobilityModel::velocity(int user) const {
+  const auto& u = users_.at(static_cast<std::size_t>(user));
+  if (config_.model == MobilityConfig::Model::kRandomWaypoint &&
+      now_ < u.pause_until) {
+    return {0.0, 0.0};
+  }
+  return u.vel;
+}
+
+}  // namespace charisma::mac

@@ -1,0 +1,83 @@
+// User mobility — the "nomadic" in nomadic computing (paper §1, §6). Every
+// user gets a position trajectory over a rectangular service area:
+//
+//   * kConstantVelocity — random initial position and heading, fixed speed,
+//     specular reflection at the field boundary (the classic "billiard"
+//     model; stationary long-run position distribution is uniform).
+//   * kRandomWaypoint — pick a uniform waypoint, travel to it at the
+//     configured speed, pause, repeat (Johnson & Maltz). The standard
+//     mobility model of the ad-hoc/cellular simulation literature.
+//
+// Positions feed the distance-based path loss that CellularWorld turns
+// into each cell's time-varying mean SNR, which is what makes handoff a
+// *channel-quality* decision rather than a scripted event.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace charisma::mac {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points, metres.
+double distance_m(const Vec2& a, const Vec2& b);
+
+struct MobilityConfig {
+  enum class Model { kConstantVelocity, kRandomWaypoint };
+
+  Model model = Model::kRandomWaypoint;
+  double field_width_m = 2000.0;
+  double field_height_m = 1000.0;
+  common::Speed speed_mps = common::km_per_hour(50.0);
+  /// Random-waypoint pause on arrival (0 = keep moving immediately).
+  common::Time pause_s = 0.0;
+
+  bool valid() const {
+    return field_width_m > 0.0 && field_height_m > 0.0 && speed_mps >= 0.0 &&
+           pause_s >= 0.0;
+  }
+};
+
+class MobilityModel {
+ public:
+  /// All randomness (initial placement, headings, waypoints) comes from
+  /// `rng`, so trajectories are reproducible and independent of the
+  /// channel/traffic streams.
+  MobilityModel(const MobilityConfig& config, int num_users,
+                common::RngStream rng);
+
+  /// Advances every user to absolute time `t` (non-decreasing calls).
+  void advance_to(common::Time t);
+
+  int size() const { return static_cast<int>(users_.size()); }
+  Vec2 position(int user) const;
+  /// Current velocity (m/s); zero while a random-waypoint user pauses.
+  Vec2 velocity(int user) const;
+  const MobilityConfig& config() const { return config_; }
+
+ private:
+  struct UserState {
+    Vec2 pos;
+    Vec2 vel;
+    Vec2 waypoint;                  // random-waypoint target
+    common::Time pause_until = 0.0; // random-waypoint dwell end
+  };
+
+  void advance_constant_velocity(UserState& u, common::Time dt);
+  void advance_random_waypoint(UserState& u, common::Time now,
+                               common::Time dt);
+  void pick_waypoint(UserState& u);
+
+  MobilityConfig config_;
+  common::RngStream rng_;
+  std::vector<UserState> users_;
+  common::Time now_ = 0.0;
+};
+
+}  // namespace charisma::mac

@@ -18,6 +18,11 @@ DrmaProtocol::DrmaProtocol(const mac::ScenarioParams& params,
       options_(options),
       grid_(params.geometry.frames_per_voice_period, options.info_slots) {}
 
+void DrmaProtocol::on_user_detached(common::UserId id) {
+  grid_.release(id);
+  queue_.remove(id);
+}
+
 common::Time DrmaProtocol::process_frame() {
   // Release reservations of finished talkspurts.
   for (auto& u : users()) {
@@ -93,6 +98,7 @@ common::Time DrmaProtocol::process_frame() {
     // minislots.
     std::vector<common::UserId> candidates;
     for (auto& u : users()) {
+      if (!u.present()) continue;
       if (engaged.count(u.id())) continue;
       if (u.is_voice()) {
         if (!grid_.has_reservation(u.id()) && u.voice().in_talkspurt() &&

@@ -37,6 +37,7 @@ class DrmaProtocol : public mac::ProtocolEngine {
 
  protected:
   common::Time process_frame() override;
+  void on_user_detached(common::UserId id) override;
 
  private:
   DrmaOptions options_;

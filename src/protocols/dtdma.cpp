@@ -16,6 +16,11 @@ DtdmaProtocol::DtdmaProtocol(const mac::ScenarioParams& params,
       grid_(params.geometry.frames_per_voice_period,
             params.geometry.num_info_slots) {}
 
+void DtdmaProtocol::on_user_detached(common::UserId id) {
+  grid_.release(id);
+  queue_.remove(id);
+}
+
 void DtdmaProtocol::release_finished_talkspurts() {
   for (auto& u : users()) {
     if (u.is_voice() && grid_.has_reservation(u.id()) &&
@@ -97,6 +102,7 @@ common::Time DtdmaProtocol::process_frame() {
   // 2. Request phase: N_r contention minislots.
   std::vector<common::UserId> candidates;
   for (auto& u : users()) {
+    if (!u.present()) continue;
     if (queue_.contains(u.id())) continue;
     if (u.is_voice()) {
       if (!grid_.has_reservation(u.id()) && u.voice().in_talkspurt() &&

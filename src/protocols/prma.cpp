@@ -10,6 +10,8 @@ PrmaProtocol::PrmaProtocol(const mac::ScenarioParams& params,
       options_(options),
       grid_(params.geometry.frames_per_voice_period, options.info_slots) {}
 
+void PrmaProtocol::on_user_detached(common::UserId id) { grid_.release(id); }
+
 common::Time PrmaProtocol::process_frame() {
   // Release reservations of finished talkspurts.
   for (auto& u : users()) {
@@ -34,6 +36,7 @@ common::Time PrmaProtocol::process_frame() {
     // Available slot: contenders transmit their packet directly.
     std::vector<common::UserId> transmitters;
     for (auto& u : users()) {
+      if (!u.present()) continue;
       const bool active = u.is_voice()
                               ? (!grid_.has_reservation(u.id()) &&
                                  u.voice().in_talkspurt() &&

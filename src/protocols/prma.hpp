@@ -34,6 +34,7 @@ class PrmaProtocol : public mac::ProtocolEngine {
 
  protected:
   common::Time process_frame() override;
+  void on_user_detached(common::UserId id) override;
 
  private:
   PrmaOptions options_;

@@ -17,6 +17,11 @@ RamaProtocol::RamaProtocol(const mac::ScenarioParams& params,
       grid_(params.geometry.frames_per_voice_period,
             params.geometry.num_info_slots) {}
 
+void RamaProtocol::on_user_detached(common::UserId id) {
+  grid_.release(id);
+  queue_.remove(id);
+}
+
 void RamaProtocol::release_finished_talkspurts() {
   for (auto& u : users()) {
     if (u.is_voice() && grid_.has_reservation(u.id()) &&
@@ -73,6 +78,7 @@ common::Time RamaProtocol::process_frame() {
   std::vector<common::UserId> voice_contenders;
   std::vector<common::UserId> data_contenders;
   for (auto& u : users()) {
+    if (!u.present()) continue;
     if (queue_.contains(u.id())) continue;
     const bool queued = std::any_of(
         to_serve.begin(), to_serve.end(),

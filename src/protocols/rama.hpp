@@ -36,6 +36,7 @@ class RamaProtocol : public mac::ProtocolEngine {
 
  protected:
   common::Time process_frame() override;
+  void on_user_detached(common::UserId id) override;
 
  private:
   void release_finished_talkspurts();

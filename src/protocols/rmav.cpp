@@ -8,6 +8,10 @@ RmavProtocol::RmavProtocol(const mac::ScenarioParams& params,
                            RmavOptions options)
     : mac::ProtocolEngine(params), options_(options) {}
 
+void RmavProtocol::on_user_detached(common::UserId id) {
+  std::erase(grants_, id);
+}
+
 common::Time RmavProtocol::process_frame() {
   int served_slots = 0;
 
@@ -33,6 +37,7 @@ common::Time RmavProtocol::process_frame() {
   // The single competitive slot at the frame's tail.
   std::vector<common::UserId> candidates;
   for (auto& u : users()) {
+    if (!u.present()) continue;
     if (u.is_voice()) {
       if (u.voice().has_packet()) candidates.push_back(u.id());
     } else if (u.data().backlog() > 0) {

@@ -42,6 +42,7 @@ class RmavProtocol : public mac::ProtocolEngine {
 
  protected:
   common::Time process_frame() override;
+  void on_user_detached(common::UserId id) override;
 
  private:
   RmavOptions options_;

@@ -136,6 +136,43 @@ TEST(ChannelBank, RepeatAdvanceIsIdempotent) {
   EXPECT_DOUBLE_EQ(bank.snr_linear(0), snr);
 }
 
+TEST(ChannelBank, SetMeanSnrRescalesWithoutDisturbingState) {
+  // The mobility fast path: re-anchoring the link budget must not touch
+  // the fading/shadowing state or consume any RNG draw — a bank whose mean
+  // is edited mid-run stays draw-for-draw identical to an untouched twin.
+  ChannelBank moved, still;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    moved.add_user(test_config(), common::RngStream(s));
+    still.add_user(test_config(), common::RngStream(s));
+  }
+  for (int i = 1; i <= 100; ++i) {
+    const double t = static_cast<double>(i) * 2.5e-3;
+    moved.advance_all_to(t);
+    still.advance_all_to(t);
+    // Wiggle every user's mean each step, then restore user 0's.
+    for (std::size_t u = 0; u < moved.size(); ++u) {
+      moved.set_mean_snr_db(u, 16.0 + static_cast<double>(i % 7) - 3.0);
+    }
+    moved.set_mean_snr_db(0, 16.0);
+    for (std::size_t u = 0; u < moved.size(); ++u) {
+      ASSERT_DOUBLE_EQ(moved.fading_power(u), still.fading_power(u));
+      ASSERT_DOUBLE_EQ(moved.shadow_db(u), still.shadow_db(u));
+    }
+    // User 0's mean was restored, so its SNR matches the untouched twin.
+    ASSERT_DOUBLE_EQ(moved.snr_linear(0), still.snr_linear(0));
+  }
+}
+
+TEST(ChannelBank, SetMeanSnrMovesTheMean) {
+  ChannelBank bank;
+  bank.add_user(test_config(16.0), common::RngStream(1));
+  const double before = bank.snr_linear(0);
+  bank.set_mean_snr_db(0, 26.0);
+  EXPECT_DOUBLE_EQ(bank.mean_snr_db(0), 26.0);
+  EXPECT_NEAR(bank.snr_linear(0) / before, 10.0, 1e-9);
+  EXPECT_THROW(bank.set_mean_snr_db(7, 10.0), std::out_of_range);
+}
+
 TEST(ChannelBank, InvalidConfigsThrow) {
   ChannelBank bank;
   auto bad_branches = test_config();

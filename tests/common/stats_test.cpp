@@ -100,20 +100,48 @@ TEST(Histogram, BinningAndQuantiles) {
   EXPECT_NEAR(h.quantile(0.95), 9.5, 0.2);
 }
 
-TEST(Histogram, ClampsOutOfRange) {
+TEST(Histogram, OutOfRangeGoesToTailsNotEdgeBins) {
+  // Regression: add() used to clamp out-of-range samples into the edge
+  // bins, silently biasing the tail quantiles.
   Histogram h(0.0, 1.0, 4);
   h.add(-5.0);
   h.add(99.0);
-  EXPECT_EQ(h.bin_count(0), 1);
-  EXPECT_EQ(h.bin_count(3), 1);
+  h.add(1.0);  // hi is exclusive: counts as overflow
+  EXPECT_EQ(h.bin_count(0), 0);
+  EXPECT_EQ(h.bin_count(3), 0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.clipped_fraction(), 1.0);
+}
+
+TEST(Histogram, QuantileAccountsForClippedMass) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(-1.0);  // underflow
+  for (int i = 0; i < 10; ++i) h.add(0.55);  // in-range
+  for (int i = 0; i < 10; ++i) h.add(7.0);   // overflow
+  EXPECT_EQ(h.count(), 30);
+  // Ranks inside the underflow tail can only be bounded by lo...
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 0.0);
+  // ...the median falls in the in-range bin...
+  EXPECT_NEAR(h.quantile(0.5), 0.55, 0.1);
+  // ...and ranks beyond the in-range mass report hi, not the last bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 1.0);
+  // Old clamping behaviour would have put the 95th percentile inside the
+  // top bin (< 1.0) and the 20th inside the bottom one (> 0 width offset);
+  // both were lies about data the range never covered.
 }
 
 TEST(Histogram, MergeCompatibility) {
   Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4), c(0.0, 2.0, 4);
   a.add(0.1);
   b.add(0.9);
+  b.add(-3.0);
+  b.add(42.0);
   a.merge(b);
-  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.underflow(), 1);
+  EXPECT_EQ(a.overflow(), 1);
   EXPECT_THROW(a.merge(c), std::invalid_argument);
 }
 

@@ -5,6 +5,27 @@
 namespace charisma::experiment {
 namespace {
 
+TEST(Report, HistogramClipWarningFiresAboveThreshold) {
+  common::Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 97; ++i) h.add(0.5);
+  h.add(-1.0);
+  h.add(2.0);
+  h.add(3.0);  // 3% clipped
+  const auto warning = histogram_clip_warning(h, "data delay");
+  ASSERT_TRUE(warning.has_value());
+  EXPECT_NE(warning->find("data delay"), std::string::npos);
+  EXPECT_NE(warning->find("clipped"), std::string::npos);
+}
+
+TEST(Report, HistogramClipWarningSilentWhenHealthy) {
+  common::Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 200; ++i) h.add(0.5);
+  h.add(2.0);  // 0.5% clipped: below the 1% default
+  EXPECT_FALSE(histogram_clip_warning(h, "delay").has_value());
+  common::Histogram empty(0.0, 1.0, 10);
+  EXPECT_FALSE(histogram_clip_warning(empty, "delay").has_value());
+}
+
 TEST(Report, CapacityInterpolatesCrossing) {
   // Series crosses 0.01 between x=60 (0.005) and x=80 (0.015): midpoint 70.
   std::vector<std::pair<int, double>> series{{40, 0.002}, {60, 0.005},

@@ -30,6 +30,23 @@ TEST(Runner, SeedsAreProtocolIndependent) {
   EXPECT_EQ(replication_seed(42, 3, 1), replication_seed(42, 3, 1));
 }
 
+TEST(Runner, SeedsChainWithoutPackingCollisions) {
+  // The old scheme derived from `point_key * 1024 + rep`, so
+  // (point 0, rep 1024) and (point 1, rep 0) shared a world.
+  EXPECT_NE(replication_seed(1, 0, 1024), replication_seed(1, 1, 0));
+}
+
+TEST(Runner, SeedSequencesPinned) {
+  // The chained derive_seed(derive_seed(base, point), rep) sequences —
+  // regenerate these constants (and say so in the commit) if you *mean* to
+  // change every replication's world.
+  EXPECT_EQ(replication_seed(1, 0, 0), 6791897765849424158ULL);
+  EXPECT_EQ(replication_seed(1, 0, 1), 17405687883870564846ULL);
+  EXPECT_EQ(replication_seed(1, 1, 0), 8614008028692990056ULL);
+  EXPECT_EQ(replication_seed(42, 3, 1), 8857862703798441688ULL);
+  EXPECT_EQ(replication_seed(7, 5, 2), 2531847342662758353ULL);
+}
+
 TEST(Runner, AggregatesAcrossReplications) {
   const auto result =
       run_replications(protocols::ProtocolId::kCharisma, small_spec(10, 2));

@@ -1,0 +1,147 @@
+#include "mac/cellular_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/factory.hpp"
+
+namespace charisma::mac {
+namespace {
+
+EngineFactory factory_for(protocols::ProtocolId id) {
+  return [id](const ScenarioParams& params) {
+    return protocols::make_protocol(id, params);
+  };
+}
+
+/// A compact two-cell world tuned so a short test run sees real handoffs:
+/// small field, vehicular speed, strong shadowing, modest hysteresis.
+CellularConfig small_world(int voice = 8, int data = 2,
+                           std::uint64_t seed = 1) {
+  CellularConfig cfg;
+  cfg.num_cells = 2;
+  cfg.params.num_voice_users = voice;
+  cfg.params.num_data_users = data;
+  cfg.params.seed = seed;
+  cfg.params.channel.shadow_sigma_db = 6.0;
+  cfg.mobility.field_width_m = 1000.0;
+  cfg.mobility.field_height_m = 200.0;
+  cfg.mobility.speed_mps = common::km_per_hour(120.0);
+  cfg.handoff_hysteresis_db = 2.0;
+  return cfg;
+}
+
+TEST(CellularWorld, ExecutesHandoffsAtVehicularSpeed) {
+  CellularWorld world(small_world(),
+                      factory_for(protocols::ProtocolId::kDtdmaFr));
+  world.run(1.0, 5.0);
+  EXPECT_GT(world.handoffs(), 0);
+  const auto aggregate = world.aggregate_metrics();
+  // Every handoff leaves one cell and enters another.
+  EXPECT_EQ(aggregate.handoffs_out, world.handoffs());
+  EXPECT_EQ(aggregate.handoffs_in, aggregate.handoffs_out);
+  EXPECT_GT(aggregate.handoff_rate_hz(), 0.0);
+}
+
+TEST(CellularWorld, EveryUserPresentInExactlyOneCell) {
+  auto cfg = small_world();
+  CellularWorld world(cfg, factory_for(protocols::ProtocolId::kCharisma));
+  world.run(0.5, 2.0);
+  for (int u = 0; u < cfg.params.total_users(); ++u) {
+    int present_count = 0;
+    for (int c = 0; c < world.num_cells(); ++c) {
+      if (world.cell(c).user(static_cast<common::UserId>(u)).present()) {
+        ++present_count;
+        EXPECT_EQ(world.attached_cell(static_cast<common::UserId>(u)), c);
+      }
+    }
+    EXPECT_EQ(present_count, 1);
+  }
+}
+
+TEST(CellularWorld, VoicePacketsConservedAcrossCells) {
+  auto cfg = small_world(10, 0);
+  CellularWorld world(cfg, factory_for(protocols::ProtocolId::kDtdmaFr));
+  world.run(1.0, 5.0);
+  const auto m = world.aggregate_metrics();
+  ASSERT_GT(m.voice_generated, 0);
+  const auto accounted = m.voice_delivered + m.voice_error_lost +
+                         m.voice_dropped_deadline + m.voice_dropped_handoff;
+  // At most one in-flight packet per voice user at each window edge.
+  EXPECT_LE(accounted, m.voice_generated + cfg.params.num_voice_users);
+  EXPECT_GE(accounted, m.voice_generated - cfg.params.num_voice_users);
+}
+
+TEST(CellularWorld, PerCellLoadSumsToPopulation) {
+  auto cfg = small_world();
+  CellularWorld world(cfg, factory_for(protocols::ProtocolId::kDtdmaFr));
+  world.run(0.5, 2.0);
+  // Fixed-frame protocol: every cell processes the same number of frames,
+  // and each frame every user is attached somewhere, so the mean attached
+  // loads sum to the population.
+  double total_load = 0.0;
+  for (int c = 0; c < world.num_cells(); ++c) {
+    total_load += world.cell_metrics(c).mean_attached_users();
+  }
+  EXPECT_NEAR(total_load, static_cast<double>(cfg.params.total_users()),
+              0.05 * cfg.params.total_users());
+}
+
+TEST(CellularWorld, InfiniteHysteresisMeansNoHandoffs) {
+  auto cfg = small_world();
+  cfg.handoff_hysteresis_db = 200.0;
+  CellularWorld world(cfg, factory_for(protocols::ProtocolId::kDtdmaFr));
+  world.run(0.5, 3.0);
+  EXPECT_EQ(world.handoffs(), 0);
+  const auto m = world.aggregate_metrics();
+  EXPECT_EQ(m.voice_dropped_handoff, 0);
+}
+
+TEST(CellularWorld, Deterministic) {
+  auto cfg = small_world();
+  CellularWorld a(cfg, factory_for(protocols::ProtocolId::kCharisma));
+  CellularWorld b(cfg, factory_for(protocols::ProtocolId::kCharisma));
+  a.run(0.5, 2.0);
+  b.run(0.5, 2.0);
+  const auto ma = a.aggregate_metrics();
+  const auto mb = b.aggregate_metrics();
+  EXPECT_EQ(a.handoffs(), b.handoffs());
+  EXPECT_EQ(ma.voice_generated, mb.voice_generated);
+  EXPECT_EQ(ma.voice_delivered, mb.voice_delivered);
+  EXPECT_EQ(ma.data_delivered, mb.data_delivered);
+}
+
+TEST(CellularWorld, SingleCellNeverHandsOff) {
+  auto cfg = small_world();
+  cfg.num_cells = 1;
+  CellularWorld world(cfg, factory_for(protocols::ProtocolId::kDtdmaFr));
+  world.run(0.5, 2.0);
+  EXPECT_EQ(world.handoffs(), 0);
+  EXPECT_GT(world.aggregate_metrics().voice_generated, 0);
+}
+
+TEST(CellularWorld, PathLossFallsWithDistance) {
+  CellularWorld world(small_world(),
+                      factory_for(protocols::ProtocolId::kDtdmaFr));
+  EXPECT_GT(world.mean_snr_at_distance_db(100.0),
+            world.mean_snr_at_distance_db(400.0));
+  // Clamped below min_distance: standing on the site is finite.
+  EXPECT_EQ(world.mean_snr_at_distance_db(0.0),
+            world.mean_snr_at_distance_db(5.0));
+}
+
+TEST(CellularWorld, Validation) {
+  auto cfg = small_world();
+  cfg.num_cells = 0;
+  EXPECT_THROW(
+      CellularWorld(cfg, factory_for(protocols::ProtocolId::kDtdmaFr)),
+      std::invalid_argument);
+  EXPECT_THROW(CellularWorld(small_world(), EngineFactory{}),
+               std::invalid_argument);
+  CellularWorld world(small_world(),
+                      factory_for(protocols::ProtocolId::kDtdmaFr));
+  EXPECT_THROW(world.run(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(world.run(0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace charisma::mac

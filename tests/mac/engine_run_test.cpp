@@ -1,0 +1,66 @@
+// ProtocolEngine::run window semantics: durations are relative to now(),
+// so repeated runs are window-monotonic — each call continues the same
+// simulation and measures a fresh, non-empty window. (A second run with an
+// absolute warmup at or before now() used to return a zero-frame window
+// whose rate helpers divided by zero.)
+#include <gtest/gtest.h>
+
+#include "../support/scenarios.hpp"
+#include "protocols/factory.hpp"
+
+namespace charisma::mac {
+namespace {
+
+using protocols::ProtocolId;
+
+TEST(EngineRunWindows, RepeatedRunsEachMeasureTheirOwnWindow) {
+  auto engine = protocols::make_protocol(ProtocolId::kCharisma,
+                                         testing::small_mixed(8, 2));
+  const auto& first = engine->run(0.5, 1.0);
+  EXPECT_GT(first.frames, 0);
+  EXPECT_NEAR(first.measured_time, 1.0, 0.05);
+  EXPECT_NEAR(engine->now(), 1.5, 0.05);
+
+  // The historical failure mode: warmup (0.5) <= now() (1.5) made both
+  // run_until calls no-ops and returned zero frames.
+  const auto& second = engine->run(0.5, 1.0);
+  EXPECT_GT(second.frames, 0);
+  EXPECT_NEAR(second.measured_time, 1.0, 0.05);
+  EXPECT_NEAR(engine->now(), 3.0, 0.05);
+  EXPECT_GE(second.voice_generated, 0);
+}
+
+TEST(EngineRunWindows, ZeroWarmupRepeatedRunStillMeasures) {
+  auto engine = protocols::make_protocol(ProtocolId::kDtdmaFr,
+                                         testing::small_mixed(8, 2));
+  (void)engine->run(0.0, 1.0);
+  const auto& again = engine->run(0.0, 1.0);
+  EXPECT_GT(again.frames, 0);
+  EXPECT_NEAR(engine->now(), 2.0, 0.05);
+}
+
+TEST(EngineRunWindows, InvalidDurationsThrow) {
+  auto engine = protocols::make_protocol(ProtocolId::kCharisma,
+                                         testing::small_mixed(4, 0));
+  EXPECT_THROW(engine->run(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(engine->run(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(engine->run(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(EngineRunWindows, AdvanceByAccumulatesWithoutReset) {
+  auto engine = protocols::make_protocol(ProtocolId::kCharisma,
+                                         testing::small_mixed(8, 0));
+  engine->advance_by(1.0);
+  const auto frames_first = engine->metrics().frames;
+  EXPECT_GT(frames_first, 0);
+  engine->advance_by(1.0);
+  EXPECT_GT(engine->metrics().frames, frames_first);
+  EXPECT_NEAR(engine->now(), 2.0, 0.05);
+  // Non-positive advances are no-ops.
+  engine->advance_by(0.0);
+  engine->advance_by(-1.0);
+  EXPECT_NEAR(engine->now(), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace charisma::mac

@@ -1,0 +1,120 @@
+#include "mac/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace charisma::mac {
+namespace {
+
+MobilityConfig cv_config(double speed_mps = 10.0) {
+  MobilityConfig cfg;
+  cfg.model = MobilityConfig::Model::kConstantVelocity;
+  cfg.field_width_m = 1000.0;
+  cfg.field_height_m = 500.0;
+  cfg.speed_mps = speed_mps;
+  return cfg;
+}
+
+MobilityConfig rwp_config(double speed_mps = 10.0) {
+  auto cfg = cv_config(speed_mps);
+  cfg.model = MobilityConfig::Model::kRandomWaypoint;
+  return cfg;
+}
+
+bool in_field(const Vec2& p, const MobilityConfig& cfg) {
+  return p.x >= 0.0 && p.x <= cfg.field_width_m && p.y >= 0.0 &&
+         p.y <= cfg.field_height_m;
+}
+
+TEST(Mobility, PositionsStayInsideTheField) {
+  for (const auto& cfg : {cv_config(30.0), rwp_config(30.0)}) {
+    MobilityModel model(cfg, 20, common::RngStream(7));
+    for (int step = 1; step <= 200; ++step) {
+      model.advance_to(step * 0.5);
+      for (int u = 0; u < model.size(); ++u) {
+        ASSERT_TRUE(in_field(model.position(u), cfg));
+      }
+    }
+  }
+}
+
+TEST(Mobility, ConstantVelocityMovesAtConfiguredSpeed) {
+  const auto cfg = cv_config(20.0);
+  MobilityModel model(cfg, 5, common::RngStream(3));
+  for (int u = 0; u < model.size(); ++u) {
+    const Vec2 v = model.velocity(u);
+    EXPECT_NEAR(std::hypot(v.x, v.y), 20.0, 1e-9);
+  }
+  // Over a short step (no reflection for interior users), displacement
+  // equals speed * dt.
+  const Vec2 before = model.position(0);
+  const Vec2 v = model.velocity(0);
+  model.advance_to(0.01);
+  const Vec2 after = model.position(0);
+  EXPECT_NEAR(after.x - before.x, v.x * 0.01, 1e-6);
+  EXPECT_NEAR(after.y - before.y, v.y * 0.01, 1e-6);
+}
+
+TEST(Mobility, ReflectionPreservesSpeed) {
+  const auto cfg = cv_config(50.0);
+  MobilityModel model(cfg, 10, common::RngStream(11));
+  model.advance_to(120.0);  // plenty of wall bounces
+  for (int u = 0; u < model.size(); ++u) {
+    const Vec2 v = model.velocity(u);
+    EXPECT_NEAR(std::hypot(v.x, v.y), 50.0, 1e-9);
+  }
+}
+
+TEST(Mobility, RandomWaypointActuallyMoves) {
+  const auto cfg = rwp_config(15.0);
+  MobilityModel model(cfg, 8, common::RngStream(5));
+  std::vector<Vec2> before;
+  for (int u = 0; u < model.size(); ++u) before.push_back(model.position(u));
+  model.advance_to(10.0);
+  double total_moved = 0.0;
+  for (int u = 0; u < model.size(); ++u) {
+    total_moved += distance_m(before[static_cast<std::size_t>(u)],
+                              model.position(u));
+  }
+  EXPECT_GT(total_moved, 0.0);
+}
+
+TEST(Mobility, ZeroSpeedFreezesEveryone) {
+  auto cfg = rwp_config(0.0);
+  MobilityModel model(cfg, 4, common::RngStream(9));
+  const Vec2 before = model.position(2);
+  model.advance_to(100.0);
+  const Vec2 after = model.position(2);
+  EXPECT_DOUBLE_EQ(before.x, after.x);
+  EXPECT_DOUBLE_EQ(before.y, after.y);
+}
+
+TEST(Mobility, Deterministic) {
+  MobilityModel a(rwp_config(25.0), 6, common::RngStream(42));
+  MobilityModel b(rwp_config(25.0), 6, common::RngStream(42));
+  a.advance_to(33.0);
+  b.advance_to(33.0);
+  for (int u = 0; u < a.size(); ++u) {
+    EXPECT_DOUBLE_EQ(a.position(u).x, b.position(u).x);
+    EXPECT_DOUBLE_EQ(a.position(u).y, b.position(u).y);
+  }
+}
+
+TEST(Mobility, TimeMustNotGoBackwards) {
+  MobilityModel model(cv_config(), 2, common::RngStream(1));
+  model.advance_to(5.0);
+  EXPECT_THROW(model.advance_to(4.0), std::logic_error);
+}
+
+TEST(Mobility, Validation) {
+  auto cfg = cv_config();
+  cfg.field_width_m = 0.0;
+  EXPECT_THROW(MobilityModel(cfg, 3, common::RngStream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(MobilityModel(cv_config(), -1, common::RngStream(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace charisma::mac

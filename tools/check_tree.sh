@@ -1,0 +1,22 @@
+#!/bin/sh
+# Fails when build artifacts are tracked by git. Run from the repo root
+# (ctest invokes it via the check_tree test); exits 0 outside a git
+# checkout (e.g. a tarball build) so packaged builds don't fail spuriously.
+set -eu
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_tree: not a git checkout, skipping"
+  exit 0
+fi
+
+# Tracked files under build trees or with object/archive suffixes. BENCH_*.json
+# trajectory files are allowed at the repo root only.
+bad=$(git ls-files -- 'build/**' '*.o' '*.a' '*.so' '*/BENCH_*.json' || true)
+
+if [ -n "$bad" ]; then
+  echo "check_tree: build artifacts are tracked by git:" >&2
+  echo "$bad" | head -20 >&2
+  echo "check_tree: run 'git rm -r --cached <path>' and keep them ignored" >&2
+  exit 1
+fi
+echo "check_tree: OK (no tracked build artifacts)"
