@@ -1,0 +1,230 @@
+// World-loop scaling bench — the multi-cell epoch loop after PR 4's three
+// optimisations (parallel share-nothing cell stepping, the allocation-free
+// periodic frame slot, and the batched SNR/pilot plane). Sweeps cells ×
+// worker threads on one fixed population, cross-checks that every thread
+// count reproduces the serial run bit for bit (the WorkerPool barrier
+// design makes that a hard guarantee, and this bench re-verifies it on
+// every run), and records the trajectory point as BENCH_world.json.
+//
+// Knobs (all optional):
+//   CHARISMA_BENCH_WORLD_VOICE     voice users in the world (default 96)
+//   CHARISMA_BENCH_WORLD_DATA     data users in the world (default 24)
+//   CHARISMA_BENCH_WORLD_MEASURE  measured seconds per run (default 8)
+//   CHARISMA_BENCH_WORLD_REPS     timing repetitions, min taken (default 3)
+//   CHARISMA_BENCH_WORLD_CELLS    comma list of cell counts (default 2,4,8)
+//   CHARISMA_BENCH_WORLD_THREADS  comma list of thread counts
+//                                 (default 1,2,4,<hardware>)
+//   CHARISMA_BENCH_WORLD_PROTOCOL protocol id (default dtdma_fr)
+//   CHARISMA_BENCH_JSON_DIR       where BENCH_world.json lands (default .)
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+
+namespace {
+
+using namespace charisma;
+
+std::vector<unsigned> parse_list(const std::string& csv) {
+  std::vector<unsigned> values;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;  // tolerate trailing/duplicate commas
+    try {
+      values.push_back(static_cast<unsigned>(std::stoul(token)));
+    } catch (const std::exception&) {
+      std::cerr << "ignoring malformed list entry '" << token << "'\n";
+    }
+  }
+  return values;
+}
+
+std::string env_list(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+mac::CellularConfig world_config(int cells, unsigned threads, int voice,
+                                 int data) {
+  mac::CellularConfig cfg;
+  cfg.num_cells = cells;
+  cfg.num_threads = threads;
+  cfg.params.num_voice_users = voice;
+  cfg.params.num_data_users = data;
+  cfg.params.seed = 2024;
+  cfg.params.channel.mean_snr_db = 26.0;  // link budget at the reference
+  cfg.params.channel.shadow_sigma_db = 6.0;
+  cfg.mobility.field_width_m = 1000.0 * cells;
+  cfg.mobility.field_height_m = 1000.0;
+  cfg.mobility.speed_mps = common::km_per_hour(90.0);
+  cfg.handoff_hysteresis_db = 4.0;
+  return cfg;
+}
+
+struct Point {
+  int cells;
+  unsigned threads;
+  double wall_s;
+  double speedup;        // vs threads=1 at the same cell count
+  bool deterministic;    // full aggregate metrics match the serial run
+};
+
+// The bit-identical cross-check is ProtocolMetrics::operator== — the same
+// exact, every-field equality the determinism test uses.
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "World-loop scaling: parallel cells, allocation-free frames, "
+      "batched pilots",
+      "CHARISMA extension (no paper figure); PR 4 trajectory point");
+
+  const int voice = bench::env_int("CHARISMA_BENCH_WORLD_VOICE", 96);
+  const int data = bench::env_int("CHARISMA_BENCH_WORLD_DATA", 24);
+  const double measure_s =
+      bench::env_double("CHARISMA_BENCH_WORLD_MEASURE", 8.0);
+  const int reps = std::max(1, bench::env_int("CHARISMA_BENCH_WORLD_REPS", 3));
+  const double warmup_s = std::min(0.5, measure_s * 0.25);
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  const auto protocol = protocols::parse_protocol(
+      env_list("CHARISMA_BENCH_WORLD_PROTOCOL", "dtdma_fr"));
+
+  auto cells_list = parse_list(env_list("CHARISMA_BENCH_WORLD_CELLS", "2,4,8"));
+  auto threads_list = parse_list(env_list(
+      "CHARISMA_BENCH_WORLD_THREADS", "1,2,4," + std::to_string(hardware)));
+  // 0 means hardware concurrency everywhere else; resolve it here so the
+  // sort below cannot place a "0" entry ahead of the serial reference.
+  for (unsigned& t : threads_list) {
+    if (t == 0) t = hardware;
+  }
+  // The serial run is the determinism/speedup reference; always measure it
+  // first, even when the env list omits it.
+  threads_list.push_back(1);
+  std::sort(threads_list.begin(), threads_list.end());
+  threads_list.erase(std::unique(threads_list.begin(), threads_list.end()),
+                     threads_list.end());
+
+  std::cout << "population: " << voice << " voice + " << data
+            << " data users, measure " << measure_s
+            << " s, hardware concurrency " << hardware << "\n\n";
+
+  common::TextTable table("Epoch-loop wall clock, cells x threads");
+  table.set_header({"cells", "threads", "wall (s)", "epochs/s",
+                    "speedup vs 1T", "bit-identical"});
+
+  std::vector<Point> points;
+  for (int cells : cells_list) {
+    double ref_wall = 0.0;
+    mac::ProtocolMetrics ref_metrics;
+    std::int64_t ref_handoffs = 0;
+    for (unsigned threads : threads_list) {
+      // Fresh world per repetition (identical seed); min wall clock
+      // filters scheduler noise and first-touch warmup.
+      const auto cfg = world_config(cells, threads, voice, data);
+      double best_wall = 0.0;
+      mac::ProtocolMetrics m;
+      std::int64_t handoffs = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        mac::CellularWorld world(cfg, [&](const mac::ScenarioParams& p) {
+          return protocols::make_protocol(protocol, p);
+        });
+        const auto start = std::chrono::steady_clock::now();
+        world.run(warmup_s, measure_s);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        if (rep == 0 || wall.count() < best_wall) best_wall = wall.count();
+        m = world.aggregate_metrics();
+        handoffs = world.handoffs();
+      }
+
+      Point point{cells, threads, best_wall, 1.0, true};
+      if (threads == threads_list.front()) {  // the serial reference
+        ref_wall = best_wall;
+        ref_metrics = m;
+        ref_handoffs = handoffs;
+      }
+      point.speedup = ref_wall / point.wall_s;
+      point.deterministic = m == ref_metrics && handoffs == ref_handoffs;
+      points.push_back(point);
+
+      const double epochs =
+          (warmup_s + measure_s) / cfg.decision_interval;
+      table.add_row({common::TextTable::num(cells, 0),
+                     common::TextTable::num(threads, 0),
+                     common::TextTable::num(point.wall_s, 4),
+                     common::TextTable::num(epochs / point.wall_s, 1),
+                     common::TextTable::num(point.speedup, 2),
+                     point.deterministic ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "bench_world");
+
+  bool all_deterministic = true;
+  double best_speedup = 0.0;
+  int best_cells = 0;
+  unsigned best_threads = 0;
+  for (const auto& p : points) {
+    all_deterministic = all_deterministic && p.deterministic;
+    if (p.cells >= 4 && p.threads >= 4 && p.speedup > best_speedup) {
+      best_speedup = p.speedup;
+      best_cells = p.cells;
+      best_threads = p.threads;
+    }
+  }
+  std::cout << "\nall thread counts bit-identical to serial: "
+            << (all_deterministic ? "yes" : "NO — BUG") << '\n';
+  if (best_threads != 0) {
+    std::cout << "best >=4-cell/>=4-thread speedup: "
+              << common::TextTable::num(best_speedup, 2) << "x (" << best_cells
+              << " cells, " << best_threads << " threads)";
+    if (hardware < 4) {
+      std::cout << " — this host exposes only " << hardware
+                << " CPU(s); thread scaling cannot show here";
+    }
+    std::cout << '\n';
+  }
+
+  const char* dir = std::getenv("CHARISMA_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_world.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not write " << path << '\n';
+    return all_deterministic ? 0 : 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"world_epoch_loop\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"protocol\": \"" << protocols::protocol_name(protocol) << "\",\n"
+      << "  \"voice_users\": " << voice << ",\n"
+      << "  \"data_users\": " << data << ",\n"
+      << "  \"measure_s\": " << measure_s << ",\n"
+      << "  \"hardware_concurrency\": " << hardware << ",\n"
+      << "  \"all_thread_counts_bit_identical_to_serial\": "
+      << (all_deterministic ? "true" : "false") << ",\n"
+      << "  \"best_speedup_cells4plus_threads4plus\": " << best_speedup
+      << ",\n"
+      << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"cells\": " << p.cells << ", \"threads\": " << p.threads
+        << ", \"wall_s\": " << p.wall_s << ", \"speedup_vs_serial\": "
+        << p.speedup << ", \"bit_identical_to_serial\": "
+        << (p.deterministic ? "true" : "false") << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "(wrote " << path << ")\n";
+  return all_deterministic ? 0 : 1;
+}

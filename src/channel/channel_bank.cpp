@@ -31,6 +31,7 @@ void ChannelBank::reserve(std::size_t users) {
   branch_begin_.reserve(users);
   branch_count_.reserve(users);
   mean_snr_linear_.reserve(users);
+  mean_snr_db_.reserve(users);
   shadow_sigma_db_.reserve(users);
   inv_branch_count_.reserve(users);
   dt_.reserve(users);
@@ -74,6 +75,7 @@ std::size_t ChannelBank::add_user(const ChannelConfig& config,
   branch_begin_.push_back(fade_re_.size());
   branch_count_.push_back(config.diversity_branches);
   mean_snr_linear_.push_back(common::from_db(config.mean_snr_db));
+  mean_snr_db_.push_back(config.mean_snr_db);
   inv_branch_count_.push_back(1.0 /
                               static_cast<double>(config.diversity_branches));
   shadow_sigma_db_.push_back(config.shadow_sigma_db);
@@ -201,11 +203,45 @@ void ChannelBank::set_mean_snr_db(std::size_t user, double db) {
     throw std::out_of_range("ChannelBank::set_mean_snr_db: bad user");
   }
   configs_[user].mean_snr_db = db;
+  mean_snr_db_[user] = db;
   mean_snr_linear_[user] = common::from_db(db);
+}
+
+void ChannelBank::set_mean_snr_db_all(std::span<const double> db) {
+  const std::size_t n = configs_.size();
+  if (db.size() < n) {
+    throw std::invalid_argument("ChannelBank::set_mean_snr_db_all: short span");
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    configs_[u].mean_snr_db = db[u];
+    mean_snr_db_[u] = db[u];
+  }
+  // Separate pass so the pow() loop streams the two flat arrays without the
+  // ChannelConfig stride (and vectorizes under -fno-math-errno).
+  const double* src = db.data();
+  double* dst = mean_snr_linear_.data();
+  for (std::size_t u = 0; u < n; ++u) {
+    dst[u] = common::from_db(src[u]);
+  }
 }
 
 double ChannelBank::snr_db(std::size_t user) const {
   return common::to_db(snr_linear(user));
+}
+
+void ChannelBank::snr_db_all(std::span<double> out) const {
+  const std::size_t n = configs_.size();
+  if (out.size() < n) {
+    throw std::invalid_argument("ChannelBank::snr_db_all: short span");
+  }
+  constexpr double kTenOverLn10 = 4.342944819032518;  // 10 / ln(10)
+  const double* mean_db = mean_snr_db_.data();
+  const double* shadow = shadow_db_.data();
+  const double* fade = fading_power_.data();
+  double* dst = out.data();
+  for (std::size_t u = 0; u < n; ++u) {
+    dst[u] = mean_db[u] + shadow[u] + kTenOverLn10 * std::log(fade[u]);
+  }
 }
 
 }  // namespace charisma::channel

@@ -22,6 +22,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -73,6 +74,12 @@ class ChannelBank {
   /// mobile run stays replayable against a static one draw for draw.
   void set_mean_snr_db(std::size_t user, double db);
 
+  /// Bulk set_mean_snr_db: re-anchors every user's mean from db[u] in one
+  /// pass (same no-RNG / no-fading-state guarantee). The mobility layer
+  /// feeds a whole cell's path-loss plane through here each epoch instead
+  /// of total_users scalar calls.
+  void set_mean_snr_db_all(std::span<const double> db);
+
   /// Current link-budget mean SNR (dB) of `user`.
   double mean_snr_db(std::size_t user) const {
     return configs_[user].mean_snr_db;
@@ -87,6 +94,14 @@ class ChannelBank {
            shadow_linear(user);
   }
   double snr_db(std::size_t user) const;
+
+  /// Bulk pilot read: writes every user's instantaneous SNR (dB) to out[u].
+  /// Works in the dB domain — mean dB + shadowing dB + 10·log10(fading
+  /// power) — so it pays one log per user where the scalar snr_db() pays an
+  /// exp (lazy shadowing) *and* a log10 through the linear domain. Same
+  /// quantity, different operation order: values agree with snr_db() to
+  /// floating-point rounding.
+  void snr_db_all(std::span<double> out) const;
 
   /// Components, exposed for tracing and tests.
   double fading_power(std::size_t user) const { return fading_power_[user]; }
@@ -146,6 +161,7 @@ class ChannelBank {
   std::vector<int> branch_count_;
 
   std::vector<double> mean_snr_linear_;
+  std::vector<double> mean_snr_db_;  // flat copy of configs_[u].mean_snr_db
   std::vector<double> shadow_sigma_db_;
   std::vector<double> inv_branch_count_;
   std::vector<common::Time> dt_;

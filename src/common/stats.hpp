@@ -26,6 +26,10 @@ class Accumulator {
   double max() const { return max_; }
   double sum() const { return mean() * static_cast<double>(count_); }
 
+  /// Exact state equality (doubles compared with ==, not a tolerance) —
+  /// what the parallel-determinism checks mean by "bit-identical".
+  bool operator==(const Accumulator&) const = default;
+
  private:
   std::int64_t count_ = 0;
   double mean_ = 0.0;
@@ -93,6 +97,9 @@ class Histogram {
   /// (overflow) tail report lo (hi) — the closest statement the histogram
   /// range allows.
   double quantile(double q) const;
+
+  /// Exact state equality (see Accumulator::operator==).
+  bool operator==(const Histogram&) const = default;
 
  private:
   double lo_;

@@ -4,8 +4,8 @@
 
 namespace charisma::mac {
 
-int strongest_with_hysteresis(const std::vector<double>& pilot_db,
-                              int attached, double hysteresis_db) {
+int strongest_with_hysteresis(std::span<const double> pilot_db, int attached,
+                              double hysteresis_db) {
   if (pilot_db.empty()) {
     throw std::invalid_argument("strongest_with_hysteresis: no stations");
   }

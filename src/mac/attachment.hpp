@@ -2,7 +2,7 @@
 // experiment-layer handoff study.
 #pragma once
 
-#include <vector>
+#include <span>
 
 namespace charisma::mac {
 
@@ -13,7 +13,10 @@ namespace charisma::mac {
 /// historical bug) let a weaker station scanned earlier raise the bar and
 /// block the strongest one, so the handoff target was scan-order dependent
 /// and not the strongest eligible pilot.
-int strongest_with_hysteresis(const std::vector<double>& pilot_db,
-                              int attached, double hysteresis_db);
+///
+/// Takes a span so CellularWorld's flat users×cells pilot plane can pass
+/// one user's row without copying it into a vector per decision.
+int strongest_with_hysteresis(std::span<const double> pilot_db, int attached,
+                              double hysteresis_db);
 
 }  // namespace charisma::mac

@@ -1,5 +1,6 @@
 #include "mac/cellular_world.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -12,6 +13,7 @@ namespace {
 constexpr std::uint64_t kMobilityStream = 0x8000'0000ULL;
 constexpr std::uint64_t kCellSeedStream = 0x9000'0000ULL;
 constexpr double kTimeEps = 1e-9;
+constexpr double kLn10 = 2.302585092994046;
 }  // namespace
 
 CellularWorld::CellularWorld(const CellularConfig& config,
@@ -49,11 +51,33 @@ CellularWorld::CellularWorld(const CellularConfig& config,
   pilot_alpha_ =
       1.0 - std::exp(-config_.decision_interval / config_.pilot_filter_tau);
 
+  // Hoist the path-loss log10 into the per-site closed form
+  //   db(d) = C - (K/2) * ln(max(d, d_min)²)
+  // with C = mean_db + K * ln(d0) and K = 10 n / ln 10. Squared distances
+  // feed the ln directly, so the epoch plane pays neither sqrt nor log10.
+  const double k = 10.0 * config_.path_loss_exponent / kLn10;
+  path_loss_half_k_ = 0.5 * k;
+  path_loss_c_db_ = config_.params.channel.mean_snr_db +
+                    k * std::log(config_.reference_distance_m);
+  min_distance_sq_m2_ = config_.min_distance_m * config_.min_distance_m;
+
+  unsigned threads = config_.num_threads == 0
+                         ? std::thread::hardware_concurrency()
+                         : config_.num_threads;
+  // A round never has more than num_cells indices; surplus workers would
+  // only be woken twice per epoch to claim nothing.
+  threads = std::min(threads, static_cast<unsigned>(config_.num_cells));
+  if (threads > 1) {
+    pool_ = std::make_unique<experiment::WorkerPool>(threads);
+  }
+
   const auto users = static_cast<std::size_t>(config_.params.total_users());
   attached_.assign(users, 0);
-  pilot_db_.assign(users, std::vector<double>(
-                              static_cast<std::size_t>(config_.num_cells)));
-  update_mean_snrs();
+  pilot_db_.assign(users * static_cast<std::size_t>(config_.num_cells), 0.0);
+  snr_scratch_.assign(pilot_db_.size(), 0.0);
+  for_each_cell([this](std::size_t c) {
+    update_cell_snr_plane(static_cast<int>(c));
+  });
   initialize_attachments();
 }
 
@@ -70,34 +94,59 @@ void CellularWorld::place_sites() {
 }
 
 double CellularWorld::mean_snr_at_distance_db(double d_m) const {
-  const double d = std::max(d_m, config_.min_distance_m);
-  return config_.params.channel.mean_snr_db -
-         10.0 * config_.path_loss_exponent *
-             std::log10(d / config_.reference_distance_m);
+  const double d_sq = std::max(d_m * d_m, min_distance_sq_m2_);
+  return path_loss_c_db_ - path_loss_half_k_ * std::log(d_sq);
 }
 
-void CellularWorld::update_mean_snrs() {
-  const int users = config_.params.total_users();
-  for (int u = 0; u < users; ++u) {
-    const Vec2 pos = mobility_.position(u);
-    for (int c = 0; c < config_.num_cells; ++c) {
-      const double db = mean_snr_at_distance_db(
-          distance_m(pos, sites_[static_cast<std::size_t>(c)]));
-      cells_[static_cast<std::size_t>(c)]->channel_bank().set_mean_snr_db(
-          static_cast<std::size_t>(u), db);
+void CellularWorld::for_each_cell(const std::function<void(std::size_t)>& fn) {
+  if (pool_) {
+    pool_->for_each(cells_.size(), fn);
+  } else {
+    for (std::size_t c = 0; c < cells_.size(); ++c) fn(c);
+  }
+}
+
+void CellularWorld::update_cell_snr_plane(int c) {
+  // Share-nothing per-cell task: touches only this cell's bank and this
+  // cell's row of the scratch plane, reading the (quiescent) mobility
+  // positions. The row first stages the path-loss dB plane fed to
+  // set_mean_snr_db_all, then is overwritten with the pilot snapshot.
+  const std::size_t users = attached_.size();
+  const Vec2 site = sites_[static_cast<std::size_t>(c)];
+  double* row = snr_scratch_.data() + static_cast<std::size_t>(c) * users;
+  for (std::size_t u = 0; u < users; ++u) {
+    const Vec2 pos = mobility_.position(static_cast<int>(u));
+    const double dx = pos.x - site.x;
+    const double dy = pos.y - site.y;
+    const double d_sq = std::max(dx * dx + dy * dy, min_distance_sq_m2_);
+    row[u] = path_loss_c_db_ - path_loss_half_k_ * std::log(d_sq);
+  }
+  auto& bank = cells_[static_cast<std::size_t>(c)]->channel_bank();
+  bank.set_mean_snr_db_all({row, users});
+  bank.snr_db_all({row, users});
+}
+
+void CellularWorld::blend_pilots(double alpha) {
+  // Shared pilot-scan loop: the scratch plane is cell-major (each cell's
+  // task wrote its own contiguous row); the filtered plane is user-major
+  // (the attachment rule reads one user's row as a span).
+  const std::size_t users = attached_.size();
+  const std::size_t cells = cells_.size();
+  for (std::size_t u = 0; u < users; ++u) {
+    double* pilots = pilot_db_.data() + u * cells;
+    for (std::size_t c = 0; c < cells; ++c) {
+      pilots[c] += alpha * (snr_scratch_[c * users + u] - pilots[c]);
     }
   }
 }
 
 void CellularWorld::initialize_attachments() {
+  blend_pilots(1.0);  // no history yet: the pilot *is* the first snapshot
   const int users = config_.params.total_users();
   for (int u = 0; u < users; ++u) {
-    auto& pilots = pilot_db_[static_cast<std::size_t>(u)];
+    const auto pilots = pilot_row(static_cast<std::size_t>(u));
     int best = 0;
-    for (int c = 0; c < config_.num_cells; ++c) {
-      pilots[static_cast<std::size_t>(c)] =
-          cells_[static_cast<std::size_t>(c)]->channel_bank().snr_db(
-              static_cast<std::size_t>(u));
+    for (int c = 1; c < config_.num_cells; ++c) {
       if (pilots[static_cast<std::size_t>(c)] >
           pilots[static_cast<std::size_t>(best)]) {
         best = c;
@@ -116,19 +165,13 @@ void CellularWorld::initialize_attachments() {
 }
 
 void CellularWorld::update_pilots_and_attachments() {
+  blend_pilots(pilot_alpha_);
   const int users = config_.params.total_users();
   for (int u = 0; u < users; ++u) {
-    auto& pilots = pilot_db_[static_cast<std::size_t>(u)];
-    for (int c = 0; c < config_.num_cells; ++c) {
-      const double inst =
-          cells_[static_cast<std::size_t>(c)]->channel_bank().snr_db(
-              static_cast<std::size_t>(u));
-      auto& pilot = pilots[static_cast<std::size_t>(c)];
-      pilot += pilot_alpha_ * (inst - pilot);
-    }
     const int from = attached_[static_cast<std::size_t>(u)];
     const int to =
-        strongest_with_hysteresis(pilots, from, config_.handoff_hysteresis_db);
+        strongest_with_hysteresis(pilot_row(static_cast<std::size_t>(u)),
+                                  from, config_.handoff_hysteresis_db);
     if (to != from) {
       handoff(static_cast<common::UserId>(u), from, to);
     }
@@ -153,12 +196,19 @@ void CellularWorld::run_window(common::Time duration) {
   common::Time remaining = duration;
   while (remaining > kTimeEps) {
     const common::Time dt = std::min(config_.decision_interval, remaining);
+    // Epoch structure: mobility moves everyone (coordinator), each cell
+    // re-anchors its SNR plane (parallel, share-nothing), attachment and
+    // handoffs run between the barriers (coordinator — they mutate pairs
+    // of engines), then every cell burns an epoch of MAC frames
+    // (parallel). Serial and parallel execution perform the identical
+    // per-cell arithmetic in the identical order, so metrics are
+    // bit-identical at any thread count.
     mobility_.advance_to(now_ + dt);
-    update_mean_snrs();
+    for_each_cell([this](std::size_t c) {
+      update_cell_snr_plane(static_cast<int>(c));
+    });
     update_pilots_and_attachments();
-    for (auto& cell : cells_) {
-      cell->advance_by(dt);
-    }
+    for_each_cell([this, dt](std::size_t c) { cells_[c]->advance_by(dt); });
     now_ += dt;
     remaining -= dt;
   }

@@ -10,8 +10,9 @@
 //
 //   1. moves every user (MobilityModel),
 //   2. re-anchors each (user, cell) link's mean SNR from distance-based
-//      path loss (ChannelBank::set_mean_snr_db — fading/shadowing state and
-//      RNG draw order untouched),
+//      path loss and snapshots each cell's instantaneous pilot plane
+//      (ChannelBank::set_mean_snr_db_all / snr_db_all — fading/shadowing
+//      state and RNG draw order untouched),
 //   3. updates per-(user, cell) filtered pilots and applies the
 //      strongest-with-hysteresis attachment rule
 //      (mac::strongest_with_hysteresis — every challenger measured
@@ -20,14 +21,23 @@
 //      protocol releases its reservation and queued requests,
 //   4. advances every engine by one epoch of MAC frames.
 //
+// Cells are share-nothing — each engine owns its simulator, ChannelBank
+// and RNG streams — so steps 2 and 4 dispatch one task per cell across a
+// persistent experiment::WorkerPool (num_threads in the config). The
+// cross-cell steps (pilot filtering, attachment, handoff) stay on the
+// coordinating thread between the pool's barriers, which makes the world's
+// results bit-identical to a serial run at any thread count.
+//
 // Handoffs, voice packets dropped in transit, and per-cell load all land in
 // ProtocolMetrics, so the existing reporting stack works unchanged.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "experiment/worker_pool.hpp"
 #include "mac/engine.hpp"
 #include "mac/mobility.hpp"
 #include "mac/scenario.hpp"
@@ -45,6 +55,11 @@ struct CellularConfig {
   ScenarioParams params{};
 
   MobilityConfig mobility{};
+
+  /// Worker threads stepping the share-nothing cells in parallel: 1 (the
+  /// default) runs serially on the caller, 0 picks the hardware
+  /// concurrency. Results are bit-identical at every setting.
+  unsigned num_threads = 1;
 
   /// Attachment policy (mac::strongest_with_hysteresis inputs).
   double handoff_hysteresis_db = 4.0;
@@ -109,6 +124,7 @@ class CellularWorld {
   }
   const MobilityModel& mobility() const { return mobility_; }
   common::Time now() const { return now_; }
+  unsigned thread_count() const { return pool_ ? pool_->thread_count() : 1; }
 
   /// Mean SNR (dB) the path-loss model assigns at distance `d_m` — exposed
   /// for tests and the bench's sanity prints.
@@ -117,18 +133,40 @@ class CellularWorld {
  private:
   void place_sites();
   void initialize_attachments();
-  void update_mean_snrs();
+  /// Per-cell epoch task (runs on the pool): re-anchor the cell's mean-SNR
+  /// plane from the users' positions, then snapshot its instantaneous
+  /// pilots into this cell's row of snr_scratch_.
+  void update_cell_snr_plane(int c);
+  /// Low-pass blend of the scratch plane into the filtered pilot plane;
+  /// alpha = 1 overwrites (initial attachment), pilot_alpha_ filters.
+  void blend_pilots(double alpha);
   void update_pilots_and_attachments();
   void handoff(common::UserId user, int from, int to);
+  /// Runs fn(c) for every cell — on the pool when configured, inline
+  /// otherwise.
+  void for_each_cell(const std::function<void(std::size_t)>& fn);
   void run_window(common::Time duration);
+
+  /// One user's filtered pilot row, `num_cells` wide.
+  std::span<const double> pilot_row(std::size_t user) const {
+    return {pilot_db_.data() + user * cells_.size(), cells_.size()};
+  }
 
   CellularConfig config_;
   std::vector<std::unique_ptr<ProtocolEngine>> cells_;
   std::vector<Vec2> sites_;
   MobilityModel mobility_;
-  std::vector<int> attached_;                  ///< per-user cell index
-  std::vector<std::vector<double>> pilot_db_;  ///< [user][cell], filtered
+  std::unique_ptr<experiment::WorkerPool> pool_;  ///< null when serial
+  std::vector<int> attached_;          ///< per-user cell index
+  std::vector<double> pilot_db_;       ///< filtered, [user * cells + cell]
+  std::vector<double> snr_scratch_;    ///< per-epoch, [cell * users + user]
   double pilot_alpha_ = 1.0;
+  // Path loss in per-site precomputed form: db = C - K/2 * ln(d²) with the
+  // reference-distance log10 folded into C, so the per-(user, cell) epoch
+  // cost is one ln of the squared distance — no sqrt, no division-by-d0.
+  double path_loss_c_db_ = 0.0;
+  double path_loss_half_k_ = 0.0;
+  double min_distance_sq_m2_ = 0.0;
   std::int64_t handoffs_ = 0;
   common::Time now_ = 0.0;
 };

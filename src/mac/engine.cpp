@@ -69,7 +69,11 @@ void ProtocolEngine::advance_by(common::Time duration) {
   if (duration <= 0.0) return;
   if (!started_) {
     started_ = true;
-    sim_.schedule_at(sim_.now(), [this] { frame_event(); });
+    // The frame loop rides the simulator's periodic slot: one closure
+    // installed here, rescheduled by returning the next frame's duration.
+    // Steady-state frame advancement therefore allocates nothing — no
+    // EventQueue node, no per-frame std::function.
+    sim_.set_periodic(sim_.now(), [this] { return frame_tick(); });
   }
   sim_.run_until(sim_.now() + duration);
 }
@@ -92,7 +96,7 @@ void ProtocolEngine::attach_user(common::UserId id) {
   u.set_present(true);
 }
 
-void ProtocolEngine::frame_event() {
+common::Time ProtocolEngine::frame_tick() {
   advance_world();
   const common::Time duration = process_frame();
   if (duration <= 0.0) {
@@ -101,7 +105,7 @@ void ProtocolEngine::frame_event() {
   ++frame_index_;
   ++metrics_.frames;
   metrics_.measured_time += duration;
-  sim_.schedule_in(duration, [this] { frame_event(); });
+  return duration;  // RMAV/DRMA: data-dependent; static protocols: constant
 }
 
 void ProtocolEngine::advance_world() {

@@ -75,6 +75,12 @@ class ProtocolEngine {
   /// The shared SoA channel state all users' channels view into; exposed
   /// for benchmarks and tests of the batched hot path.
   channel::ChannelBank& channel_bank() { return bank_; }
+  const channel::ChannelBank& channel_bank() const { return bank_; }
+
+  /// Read-only view of the engine's simulator, exposed so tests can pin the
+  /// frame loop's allocation behavior (queue_events_scheduled stays zero
+  /// while frames advance through the periodic slot).
+  const sim::Simulator& simulator() const { return sim_; }
 
  protected:
   /// One frame of protocol operation at sim time now(); returns the frame
@@ -164,7 +170,10 @@ class ProtocolEngine {
   common::FrameIndex frame_index_ = 0;
 
  private:
-  void frame_event();
+  /// One firing of the simulator's periodic slot: advance the world, run
+  /// the protocol frame, and return the consumed duration as the delay to
+  /// the next tick.
+  common::Time frame_tick();
   bool started_ = false;
 };
 

@@ -85,6 +85,13 @@ struct ProtocolMetrics {
 
   void reset() { *this = ProtocolMetrics{}; }
 
+  /// Exact equality over every field (counters, accumulators, histogram,
+  /// per-user ledger; doubles compared with ==). This is the single
+  /// definition of "bit-identical metrics" used by the parallel-vs-serial
+  /// determinism test and bench_world's exit-code cross-check — a field
+  /// added here (and to merge()) is covered by both automatically.
+  bool operator==(const ProtocolMetrics&) const = default;
+
   /// Accumulates another cell's (or replication's) counters into this one —
   /// the aggregate view CellularWorld reports. Counters add; accumulators
   /// and histograms merge; measured_time takes the max (cells run in

@@ -8,27 +8,28 @@ namespace charisma::sim {
 
 EventId EventQueue::schedule(common::Time time, EventCallback callback) {
   const EventId id = next_id_++;
-  heap_.push_back(Node{time, next_seq_++, id, std::move(callback)});
+  heap_.push_back(Node{time, next_seq_++, id, false, std::move(callback)});
   std::push_heap(heap_.begin(), heap_.end(), NodeOrder{});
-  pending_.insert(id);
   ++live_count_;
+  ++scheduled_total_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
-  cancelled_.insert(id);
-  --live_count_;
-  return true;
+  for (auto& node : heap_) {
+    if (node.id != id) continue;
+    if (node.cancelled) return false;  // double cancel
+    node.cancelled = true;
+    node.callback = nullptr;  // release the closure now, not at pop time
+    assert(live_count_ > 0);
+    --live_count_;
+    return true;
+  }
+  return false;  // already fired, or unknown id
 }
 
 void EventQueue::skim() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+  while (!heap_.empty() && heap_.front().cancelled) {
     std::pop_heap(heap_.begin(), heap_.end(), NodeOrder{});
     heap_.pop_back();
   }
@@ -46,7 +47,6 @@ EventQueue::Fired EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), NodeOrder{});
   Node node = std::move(heap_.back());
   heap_.pop_back();
-  pending_.erase(node.id);
   assert(live_count_ > 0);
   --live_count_;
   return Fired{node.time, std::move(node.callback)};

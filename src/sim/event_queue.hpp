@@ -2,11 +2,17 @@
 // by (time, sequence). The sequence number makes ordering of simultaneous
 // events deterministic (FIFO in scheduling order), which the protocol
 // comparisons rely on for reproducibility.
+//
+// Cancellation is a tombstone: cancel() marks the node in place and pop()
+// skims dead nodes off the top. The schedule/pop fast path therefore never
+// touches an auxiliary lookup structure — the frame loop never cancels, and
+// the historical pending_/cancelled_ hash sets charged every event two hash
+// probes for a feature almost nobody used. cancel() pays a linear scan
+// instead, which is the right trade for a cancel-rare workload.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.hpp"
@@ -26,6 +32,7 @@ class EventQueue {
 
   /// Lazily cancels the event with the given handle. Returns false when the
   /// event already fired, was already cancelled, or the id is unknown.
+  /// O(pending) scan — cancellation is rare; scheduling is not.
   bool cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -41,11 +48,17 @@ class EventQueue {
   };
   Fired pop();
 
+  /// Total schedule() calls over this queue's lifetime — each one is a heap
+  /// node (and usually a std::function allocation). The allocation-free
+  /// frame-loop tests pin this to zero across steady-state advancement.
+  std::uint64_t scheduled_total() const { return scheduled_total_; }
+
  private:
   struct Node {
     common::Time time;
     std::uint64_t seq;
     EventId id;
+    bool cancelled;
     EventCallback callback;
   };
   struct NodeOrder {
@@ -64,8 +77,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;
-  std::unordered_set<EventId> cancelled_;  // ids cancelled but not yet popped
-  std::unordered_set<EventId> pending_;    // ids currently in the heap
+  std::uint64_t scheduled_total_ = 0;
 };
 
 }  // namespace charisma::sim

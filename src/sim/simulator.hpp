@@ -3,6 +3,13 @@
 // variable-frame protocols (RMAV, DRMA) simply schedule their next frame at
 // a data-dependent offset, which is why a general DES (rather than a fixed
 // frame loop) is the substrate.
+//
+// The frame loop itself runs in a dedicated periodic slot: one callback,
+// installed once, that returns the delay to its own next firing. The slot
+// lives outside the event queue, so steady-state frame advancement performs
+// zero heap allocations — the historical self-rescheduling frame_event paid
+// a heap node plus a std::function per simulated frame. Variable frame
+// durations cost nothing extra: the tick just returns a different delay.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,10 @@
 
 namespace charisma::sim {
 
+/// Periodic-slot callback: does one tick's work at now() and returns the
+/// delay (> 0) until its next firing.
+using PeriodicCallback = std::function<common::Time()>;
+
 class Simulator {
  public:
   Simulator() = default;
@@ -19,6 +30,7 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   common::Time now() const { return now_; }
+  /// Dispatches performed: queue events plus periodic-slot firings.
   std::uint64_t events_processed() const { return events_processed_; }
 
   /// Schedules `callback` at absolute time `when` (>= now).
@@ -29,11 +41,20 @@ class Simulator {
 
   bool cancel(EventId id) { return queue_.cancel(id); }
 
-  /// Runs until the queue drains or the clock passes `end_time`, whichever
-  /// comes first. Events at exactly `end_time` are processed.
+  /// Installs the simulator's one self-rescheduling slot: `tick` first runs
+  /// at absolute time `first` (>= now) and thereafter at the delay each
+  /// invocation returns. Rescheduling allocates nothing. A slot firing at
+  /// the same instant as queue events runs before them (it is the oldest
+  /// standing appointment). At most one slot per simulator.
+  void set_periodic(common::Time first, PeriodicCallback tick);
+  bool has_periodic() const { return static_cast<bool>(periodic_tick_); }
+
+  /// Runs until no work remains at or before `end_time` or the clock passes
+  /// it, whichever comes first. Events at exactly `end_time` are processed.
   void run_until(common::Time end_time);
 
-  /// Runs until the queue drains.
+  /// Runs until the queue drains. Unavailable once a periodic slot is
+  /// installed (it never drains); use run_until.
   void run();
 
   /// Makes run()/run_until() return after the in-flight event completes.
@@ -41,10 +62,19 @@ class Simulator {
 
   bool has_pending_events() const { return !queue_.empty(); }
 
+  /// Queue-node schedule count (see EventQueue::scheduled_total) — the
+  /// allocation-free frame-loop tests read this through the engine.
+  std::uint64_t queue_events_scheduled() const {
+    return queue_.scheduled_total();
+  }
+
  private:
   void dispatch_one();
+  void dispatch_periodic();
 
   EventQueue queue_;
+  PeriodicCallback periodic_tick_;
+  common::Time periodic_next_ = 0.0;
   common::Time now_ = 0.0;
   std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;

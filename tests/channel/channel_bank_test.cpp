@@ -173,6 +173,55 @@ TEST(ChannelBank, SetMeanSnrMovesTheMean) {
   EXPECT_THROW(bank.set_mean_snr_db(7, 10.0), std::out_of_range);
 }
 
+TEST(ChannelBank, SnrDbAllMatchesScalarReads) {
+  // The bulk pilot plane computes the same quantity as snr_db() in the dB
+  // domain (no exp/log10 round trip); values agree to rounding.
+  ChannelBank bank;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    bank.add_user(test_config(10.0 + static_cast<double>(s)),
+                  common::RngStream(s));
+  }
+  bank.advance_all_to(0.25);
+  std::vector<double> bulk(bank.size());
+  bank.snr_db_all(bulk);
+  for (std::size_t u = 0; u < bank.size(); ++u) {
+    EXPECT_NEAR(bulk[u], bank.snr_db(u), 1e-9) << "user " << u;
+  }
+  std::vector<double> too_short(bank.size() - 1);
+  EXPECT_THROW(bank.snr_db_all(too_short), std::invalid_argument);
+}
+
+TEST(ChannelBank, SetMeanSnrDbAllMatchesScalarWrites) {
+  ChannelBank bulk, scalar;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    bulk.add_user(test_config(), common::RngStream(s));
+    scalar.add_user(test_config(), common::RngStream(s));
+  }
+  bulk.advance_all_to(0.1);
+  scalar.advance_all_to(0.1);
+  std::vector<double> db;
+  for (std::size_t u = 0; u < bulk.size(); ++u) {
+    db.push_back(5.0 + 3.0 * static_cast<double>(u));
+    scalar.set_mean_snr_db(u, db.back());
+  }
+  bulk.set_mean_snr_db_all(db);
+  for (std::size_t u = 0; u < bulk.size(); ++u) {
+    ASSERT_DOUBLE_EQ(bulk.mean_snr_db(u), scalar.mean_snr_db(u));
+    ASSERT_DOUBLE_EQ(bulk.snr_linear(u), scalar.snr_linear(u));  // exact
+    ASSERT_DOUBLE_EQ(bulk.config(u).mean_snr_db, db[u]);
+  }
+  // Bulk re-anchoring is the same no-RNG fast path as the scalar call: the
+  // next advance stays draw-for-draw aligned.
+  bulk.advance_all_to(0.2);
+  scalar.advance_all_to(0.2);
+  for (std::size_t u = 0; u < bulk.size(); ++u) {
+    ASSERT_DOUBLE_EQ(bulk.fading_power(u), scalar.fading_power(u));
+    ASSERT_DOUBLE_EQ(bulk.shadow_db(u), scalar.shadow_db(u));
+  }
+  std::vector<double> too_short(bulk.size() - 1);
+  EXPECT_THROW(bulk.set_mean_snr_db_all(too_short), std::invalid_argument);
+}
+
 TEST(ChannelBank, InvalidConfigsThrow) {
   ChannelBank bank;
   auto bad_branches = test_config();

@@ -11,9 +11,13 @@ namespace {
 
 // ---- The attachment rule itself ----
 
+// The rule takes a std::span (CellularWorld passes rows of its flat pilot
+// plane); spell the literal pilot sets out as vectors.
+std::vector<double> pilots(std::initializer_list<double> db) { return db; }
+
 TEST(HysteresisRule, StaysAttachedWithinMargin) {
-  EXPECT_EQ(strongest_with_hysteresis({10.0, 12.0}, 0, 3.0), 0);
-  EXPECT_EQ(strongest_with_hysteresis({10.0, 13.5}, 0, 3.0), 1);
+  EXPECT_EQ(strongest_with_hysteresis(pilots({10.0, 12.0}), 0, 3.0), 0);
+  EXPECT_EQ(strongest_with_hysteresis(pilots({10.0, 13.5}), 0, 3.0), 1);
 }
 
 TEST(HysteresisRule, ThreeStationRegression) {
@@ -24,11 +28,11 @@ TEST(HysteresisRule, ThreeStationRegression) {
   // Attached to station 2 at 0 dB; stations 0 (6 dB) and 1 (9 dB) both
   // clear the 5 dB hysteresis. The old scan moved best to station 0, then
   // required station 1 to beat 6 + 5 = 11 dB and kept the weaker target.
-  EXPECT_EQ(strongest_with_hysteresis({6.0, 9.0, 0.0}, 2, 5.0), 1);
+  EXPECT_EQ(strongest_with_hysteresis(pilots({6.0, 9.0, 0.0}), 2, 5.0), 1);
   // Same shape with the attached station scanned first: the old rule
   // compared station 2 against station 1 + hysteresis and refused a
   // perfectly eligible stronger pilot.
-  EXPECT_EQ(strongest_with_hysteresis({0.0, 5.5, 6.0}, 0, 5.0), 2);
+  EXPECT_EQ(strongest_with_hysteresis(pilots({0.0, 5.5, 6.0}), 0, 5.0), 2);
 }
 
 TEST(HysteresisRule, AlwaysPicksStrongestEligiblePilot) {
@@ -65,10 +69,11 @@ TEST(HysteresisRule, AlwaysPicksStrongestEligiblePilot) {
 }
 
 TEST(HysteresisRule, Validation) {
-  EXPECT_THROW(strongest_with_hysteresis({}, 0, 1.0), std::invalid_argument);
-  EXPECT_THROW(strongest_with_hysteresis({1.0}, 1, 1.0),
+  EXPECT_THROW(strongest_with_hysteresis(pilots({}), 0, 1.0),
                std::invalid_argument);
-  EXPECT_THROW(strongest_with_hysteresis({1.0}, -1, 1.0),
+  EXPECT_THROW(strongest_with_hysteresis(pilots({1.0}), 1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(strongest_with_hysteresis(pilots({1.0}), -1, 1.0),
                std::invalid_argument);
 }
 

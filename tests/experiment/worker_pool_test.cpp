@@ -1,0 +1,91 @@
+#include "experiment/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace charisma::experiment {
+namespace {
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> counts(200);
+  pool.for_each(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(WorkerPool, ZeroItemsIsNoop) {
+  WorkerPool pool(3);
+  EXPECT_NO_THROW(pool.for_each(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(WorkerPool, DefaultsToHardwareConcurrency) {
+  WorkerPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  WorkerPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.for_each(seen.size(),
+                [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(WorkerPool, ReusableAcrossManyEpochs) {
+  // The world calls for_each 50 times per simulated second; the pool must
+  // survive thousands of wake/barrier cycles without losing workers.
+  WorkerPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  constexpr int kEpochs = 2000;
+  constexpr std::size_t kCells = 5;
+  for (int e = 0; e < kEpochs; ++e) {
+    pool.for_each(kCells, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), static_cast<std::int64_t>(kEpochs) * kCells);
+}
+
+TEST(WorkerPool, ExceptionPropagatesToCaller) {
+  WorkerPool pool(4);
+  EXPECT_THROW(pool.for_each(16,
+                             [](std::size_t i) {
+                               if (i == 3) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+}
+
+TEST(WorkerPool, PoolSurvivesAnException) {
+  WorkerPool pool(3);
+  EXPECT_THROW(
+      pool.for_each(8, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // A failed round must not poison the next one.
+  std::atomic<int> count{0};
+  pool.for_each(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(WorkerPool, MoreThreadsThanItems) {
+  WorkerPool pool(8);
+  std::atomic<int> count{0};
+  pool.for_each(3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(WorkerPool, BarrierMakesResultsVisibleWithoutSync) {
+  // for_each is a full barrier: plain (non-atomic) per-index writes must be
+  // visible to the caller afterwards.
+  WorkerPool pool(4);
+  std::vector<double> out(64, 0.0);
+  pool.for_each(out.size(),
+                [&](std::size_t i) { out[i] = static_cast<double>(i) * 2.0; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace charisma::experiment

@@ -1,0 +1,155 @@
+// Parallel == serial, bit for bit: the CellularWorld's cells are
+// share-nothing and the cross-cell steps run between the pool's barriers,
+// so the number of worker threads must not change a single counter. These
+// tests pin that property across protocols and cell counts — they are what
+// lets the bench hand out 1×..N× thread sweeps as the *same* experiment.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "mac/cellular_world.hpp"
+#include "protocols/factory.hpp"
+
+namespace charisma::mac {
+namespace {
+
+EngineFactory factory_for(protocols::ProtocolId id) {
+  return [id](const ScenarioParams& params) {
+    return protocols::make_protocol(id, params);
+  };
+}
+
+CellularConfig world_config(int cells, unsigned threads,
+                            std::uint64_t seed = 7) {
+  CellularConfig cfg;
+  cfg.num_cells = cells;
+  cfg.num_threads = threads;
+  cfg.params.num_voice_users = 10;
+  cfg.params.num_data_users = 4;
+  cfg.params.seed = seed;
+  cfg.params.channel.shadow_sigma_db = 6.0;
+  cfg.mobility.field_width_m = 500.0 * cells;
+  cfg.mobility.field_height_m = 300.0;
+  cfg.mobility.speed_mps = common::km_per_hour(100.0);
+  cfg.handoff_hysteresis_db = 2.0;
+  return cfg;
+}
+
+void expect_identical(const ProtocolMetrics& a, const ProtocolMetrics& b) {
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.measured_time, b.measured_time);  // exact, not NEAR
+  EXPECT_EQ(a.voice_generated, b.voice_generated);
+  EXPECT_EQ(a.voice_delivered, b.voice_delivered);
+  EXPECT_EQ(a.voice_dropped_deadline, b.voice_dropped_deadline);
+  EXPECT_EQ(a.voice_error_lost, b.voice_error_lost);
+  EXPECT_EQ(a.voice_dropped_handoff, b.voice_dropped_handoff);
+  EXPECT_EQ(a.data_generated, b.data_generated);
+  EXPECT_EQ(a.data_delivered, b.data_delivered);
+  EXPECT_EQ(a.data_tx_attempts, b.data_tx_attempts);
+  EXPECT_EQ(a.data_retransmissions, b.data_retransmissions);
+  EXPECT_EQ(a.data_delay_s.count(), b.data_delay_s.count());
+  EXPECT_EQ(a.data_delay_s.mean(), b.data_delay_s.mean());
+  EXPECT_EQ(a.handoffs_in, b.handoffs_in);
+  EXPECT_EQ(a.handoffs_out, b.handoffs_out);
+  EXPECT_EQ(a.attached_user_frames, b.attached_user_frames);
+  EXPECT_EQ(a.request_slots, b.request_slots);
+  EXPECT_EQ(a.request_successes, b.request_successes);
+  EXPECT_EQ(a.request_collisions, b.request_collisions);
+  EXPECT_EQ(a.request_idle, b.request_idle);
+  EXPECT_EQ(a.info_slots_offered, b.info_slots_offered);
+  EXPECT_EQ(a.info_slots_assigned, b.info_slots_assigned);
+  EXPECT_EQ(a.info_slots_wasted, b.info_slots_wasted);
+  EXPECT_EQ(a.csi_polls, b.csi_polls);
+  EXPECT_EQ(a.csi_stale_allocations, b.csi_stale_allocations);
+  EXPECT_EQ(a.acks_lost, b.acks_lost);
+  EXPECT_EQ(a.energy_request_j, b.energy_request_j);
+  EXPECT_EQ(a.energy_info_j, b.energy_info_j);
+  EXPECT_EQ(a.energy_pilot_j, b.energy_pilot_j);
+  EXPECT_EQ(a.energy_wasted_j, b.energy_wasted_j);
+  EXPECT_EQ(a.per_user_delivered, b.per_user_delivered);
+  // Catch-all behind the diagnostic per-field checks above: the defaulted
+  // ProtocolMetrics::operator== covers every field, histogram included, so
+  // a counter added later cannot silently escape this test.
+  EXPECT_TRUE(a == b);
+}
+
+void expect_worlds_identical(CellularWorld& serial, CellularWorld& parallel) {
+  ASSERT_EQ(serial.num_cells(), parallel.num_cells());
+  EXPECT_EQ(serial.handoffs(), parallel.handoffs());
+  for (int c = 0; c < serial.num_cells(); ++c) {
+    SCOPED_TRACE("cell " + std::to_string(c));
+    expect_identical(serial.cell_metrics(c), parallel.cell_metrics(c));
+  }
+  const auto ma = serial.aggregate_metrics();
+  const auto mb = parallel.aggregate_metrics();
+  expect_identical(ma, mb);
+  for (int u = 0; u < serial.cell(0).params().total_users(); ++u) {
+    EXPECT_EQ(serial.attached_cell(static_cast<common::UserId>(u)),
+              parallel.attached_cell(static_cast<common::UserId>(u)));
+  }
+}
+
+class WorldDeterminism
+    : public ::testing::TestWithParam<protocols::ProtocolId> {};
+
+TEST_P(WorldDeterminism, ThreeCellsSerialVsFourThreads) {
+  auto serial_cfg = world_config(/*cells=*/3, /*threads=*/1);
+  auto parallel_cfg = world_config(/*cells=*/3, /*threads=*/4);
+  CellularWorld serial(serial_cfg, factory_for(GetParam()));
+  CellularWorld parallel(parallel_cfg, factory_for(GetParam()));
+  serial.run(0.5, 2.0);
+  parallel.run(0.5, 2.0);
+  ASSERT_GT(serial.aggregate_metrics().voice_generated, 0);
+  expect_worlds_identical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, WorldDeterminism,
+                         ::testing::Values(protocols::ProtocolId::kCharisma,
+                                           protocols::ProtocolId::kDtdmaFr,
+                                           protocols::ProtocolId::kRmav),
+                         [](const auto& info) {
+                           // protocol_name has '/' and '-'; test names
+                           // must be identifiers.
+                           std::string name =
+                               protocols::protocol_name(info.param);
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(WorldDeterminismExtra, FourCellsThreadCountSweep) {
+  // threads = 1, 2, 3, 8 must all agree on a 4-cell CHARISMA world,
+  // including oversubscription (more threads than cells).
+  auto make = [](unsigned threads) {
+    auto cfg = world_config(/*cells=*/4, threads, /*seed=*/11);
+    CellularWorld world(cfg,
+                        factory_for(protocols::ProtocolId::kCharisma));
+    world.run(0.4, 1.2);
+    return world.aggregate_metrics();
+  };
+  const auto serial = make(1);
+  ASSERT_GT(serial.voice_generated, 0);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    expect_identical(serial, make(threads));
+  }
+}
+
+TEST(WorldDeterminismExtra, HardwareThreadsMatchesSerial) {
+  // num_threads = 0 (hardware concurrency, whatever this host has) is the
+  // bench's default sweep end point; it must be the same experiment too.
+  auto cfg0 = world_config(/*cells=*/3, /*threads=*/0, /*seed=*/3);
+  auto cfg1 = world_config(/*cells=*/3, /*threads=*/1, /*seed=*/3);
+  CellularWorld hardware(cfg0, factory_for(protocols::ProtocolId::kDtdmaFr));
+  CellularWorld serial(cfg1, factory_for(protocols::ProtocolId::kDtdmaFr));
+  EXPECT_GE(hardware.thread_count(), 1u);
+  hardware.run(0.3, 1.0);
+  serial.run(0.3, 1.0);
+  expect_worlds_identical(serial, hardware);
+}
+
+}  // namespace
+}  // namespace charisma::mac

@@ -95,6 +95,40 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));  // tombstone path: id no longer in the heap
+}
+
+TEST(EventQueue, CancelInterleavedWithPops) {
+  // Tombstoned nodes must be skimmed wherever they surface, including after
+  // live events around them have fired.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId a = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  const EventId b = q.schedule(4.0, [&] { order.push_back(4); });
+  q.pop().callback();           // fires 1
+  EXPECT_TRUE(q.cancel(a));     // 2 dies in the heap
+  EXPECT_TRUE(q.cancel(b));     // 4 dies in the heap
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, ScheduledTotalCountsLifetimeSchedules) {
+  EventQueue q;
+  EXPECT_EQ(q.scheduled_total(), 0u);
+  const EventId id = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.scheduled_total(), 2u);
+  q.cancel(id);
+  q.pop();
+  EXPECT_EQ(q.scheduled_total(), 2u);  // stat never decrements
+}
+
 TEST(EventQueue, ManyEventsStressOrder) {
   EventQueue q;
   // Insert times in a scrambled deterministic order.

@@ -102,5 +102,135 @@ TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
   EXPECT_DOUBLE_EQ(sim.now(), 42.0);
 }
 
+// ---- The periodic (self-rescheduling, allocation-free) slot ----
+
+TEST(SimulatorPeriodic, FiresAtFirstThenAtReturnedDelay) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.set_periodic(1.0, [&]() -> common::Time {
+    fired.push_back(sim.now());
+    return 0.5;
+  });
+  EXPECT_TRUE(sim.has_periodic());
+  sim.run_until(2.6);
+  ASSERT_EQ(fired.size(), 4u);  // 1.0, 1.5, 2.0, 2.5
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[3], 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.6);
+  EXPECT_EQ(sim.events_processed(), 4u);
+}
+
+TEST(SimulatorPeriodic, VariableDelayDrivesTheNextFiring) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.set_periodic(0.0, [&]() -> common::Time {
+    fired.push_back(sim.now());
+    return fired.size() < 2 ? 1.0 : 3.0;  // RMAV-style variable frames
+  });
+  sim.run_until(5.0);
+  ASSERT_EQ(fired.size(), 3u);  // 0.0, 1.0, 4.0
+  EXPECT_DOUBLE_EQ(fired[1], 1.0);
+  EXPECT_DOUBLE_EQ(fired[2], 4.0);
+}
+
+TEST(SimulatorPeriodic, FiresBeforeQueueEventsAtTheSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.set_periodic(1.0, [&]() -> common::Time {
+    order.push_back(1);
+    return 10.0;
+  });
+  sim.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorPeriodic, InterleavesWithQueueEvents) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(0.75, [&] { fired.push_back(-sim.now()); });
+  sim.set_periodic(0.5, [&]() -> common::Time {
+    fired.push_back(sim.now());
+    return 0.5;
+  });
+  sim.run_until(1.5);
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(fired[0], 0.5);
+  EXPECT_DOUBLE_EQ(fired[1], -0.75);
+  EXPECT_DOUBLE_EQ(fired[2], 1.0);
+  EXPECT_DOUBLE_EQ(fired[3], 1.5);
+}
+
+TEST(SimulatorPeriodic, BoundaryFiringIsProcessed) {
+  Simulator sim;
+  int count = 0;
+  sim.set_periodic(2.0, [&]() -> common::Time {
+    ++count;
+    return 1.0;
+  });
+  sim.run_until(2.0);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorPeriodic, SecondSlotRejected) {
+  Simulator sim;
+  sim.set_periodic(0.0, [] { return common::Time{1.0}; });
+  EXPECT_THROW(sim.set_periodic(0.0, [] { return common::Time{1.0}; }),
+               std::logic_error);
+}
+
+TEST(SimulatorPeriodic, ValidatesArguments) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.set_periodic(1.0, [] { return common::Time{1.0}; }),
+               std::invalid_argument);  // in the past
+  EXPECT_THROW(sim.set_periodic(6.0, PeriodicCallback{}),
+               std::invalid_argument);  // null tick
+}
+
+TEST(SimulatorPeriodic, NonPositiveDelayThrows) {
+  Simulator sim;
+  sim.set_periodic(0.0, [] { return common::Time{0.0}; });
+  EXPECT_THROW(sim.run_until(1.0), std::logic_error);
+}
+
+TEST(SimulatorPeriodic, RunForbiddenWithSlotInstalled) {
+  Simulator sim;
+  sim.set_periodic(0.0, [] { return common::Time{1.0}; });
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(SimulatorPeriodic, RequestStopHaltsSlot) {
+  Simulator sim;
+  int count = 0;
+  sim.set_periodic(0.0, [&]() -> common::Time {
+    if (++count == 3) sim.request_stop();
+    return 1.0;
+  });
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);  // fired at 0, 1, 2; stop parked the loop there
+}
+
+TEST(SimulatorPeriodic, ResumeAfterStopKeepsClockMonotonic) {
+  // After request_stop() the clock parks where the loop stopped (not at the
+  // boundary): the slot's next firing is still pending before end_time, and
+  // a later run_until must dispatch it with time moving forward.
+  Simulator sim;
+  std::vector<double> fired;
+  sim.set_periodic(0.0, [&]() -> common::Time {
+    fired.push_back(sim.now());
+    if (fired.size() == 3) sim.request_stop();
+    return 1.0;
+  });
+  sim.run_until(100.0);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run_until(4.0);  // resume: fires at 3 and 4, monotone
+  ASSERT_EQ(fired.size(), 5u);
+  EXPECT_DOUBLE_EQ(fired[3], 3.0);
+  EXPECT_DOUBLE_EQ(fired[4], 4.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
 }  // namespace
 }  // namespace charisma::sim

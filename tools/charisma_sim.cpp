@@ -45,6 +45,9 @@ Radio / PHY:
 
 Mobility / multi-cell (cells >= 2 enables the CellularWorld scenario):
   cells=N              base stations, one protocol engine each (default 1)
+  threads=N            worker threads stepping cells in parallel; 0 =
+                       hardware concurrency (default 1 = serial; results
+                       are bit-identical at any setting)
   kmh=F                user speed; also sets the Doppler spread (default 50)
   handoff_hysteresis_db=F  strongest-pilot margin before handoff (default 4)
   mobility=waypoint|vector random-waypoint or constant-velocity (default
@@ -158,6 +161,11 @@ mac::CellularConfig cellular_from(const common::KeyValueConfig& config,
                                   const mac::ScenarioParams& params) {
   mac::CellularConfig world;
   world.num_cells = config.get_int_or("cells", 1);
+  const int threads = config.get_int_or("threads", 1);
+  if (threads < 0) {
+    throw std::invalid_argument("threads= must be >= 0 (0 = hardware)");
+  }
+  world.num_threads = static_cast<unsigned>(threads);
   world.params = params;
   if (!config.contains("mean_snr_db")) {
     // The single-cell default (16 dB) is the SNR of the *whole* cell; in
