@@ -1,0 +1,143 @@
+// Frequency-reuse extension (no figure in the paper): voice packet loss
+// and data throughput versus the frequency-reuse factor on a hexagonal
+// multi-cell world with the uplink co-channel interference (SINR) plane
+// enabled, for every protocol and a sweep of cluster sizes.
+//
+// reuse = 1 puts every cell on the same channel (worst-case co-channel
+// interference); larger rhombic factors (3, 4, 7, ...) thin the
+// interferer set until — at one channel per cell — the world degenerates
+// to the interference-free SNR plane, so the sweep shows each protocol's
+// sensitivity to the classic capacity-versus-isolation trade.
+//
+// Knobs (besides the bench_support ones):
+//   CHARISMA_BENCH_REUSE_CELLS   comma list of cell counts (default 7)
+//   CHARISMA_BENCH_REUSE_FACTORS comma list of reuse factors (default 1,3,7)
+//   CHARISMA_BENCH_REUSE_VOICE   voice users in the world (default 40)
+//   CHARISMA_BENCH_REUSE_ACTIVITY per-user activity factor (default 0.4)
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+
+namespace {
+
+std::vector<int> parse_list(const std::string& csv) {
+  std::vector<int> values;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) values.push_back(std::stoi(token));
+  }
+  return values;
+}
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace charisma;
+  bench::print_banner(
+      "Frequency reuse: voice loss / data throughput vs reuse factor "
+      "(hex SINR world)",
+      "CHARISMA extension (no paper figure); inter-cell interference "
+      "plane");
+
+  const auto cells_list =
+      parse_list(env_or("CHARISMA_BENCH_REUSE_CELLS", "7"));
+  const auto reuse_list =
+      parse_list(env_or("CHARISMA_BENCH_REUSE_FACTORS", "1,3,7"));
+  const int voice_users = bench::env_int("CHARISMA_BENCH_REUSE_VOICE", 40);
+  const double activity =
+      bench::env_double("CHARISMA_BENCH_REUSE_ACTIVITY", 0.4);
+  const auto spec = bench::standard_spec(/*default_reps=*/1);
+
+  std::cout << voice_users << " voice + 5 data users, activity factor "
+            << activity << ", " << spec.measure_s
+            << " s measured per point\n\n";
+
+  common::TextTable loss_table(
+      "Voice packet loss rate vs reuse factor (rows: cells/reuse)");
+  common::TextTable tput_table(
+      "Data throughput per frame vs reuse factor (rows: cells/reuse)");
+  std::vector<std::string> header{"cells", "reuse", "mean interf dB"};
+  for (auto p : protocols::all_protocols()) {
+    header.push_back(protocols::protocol_name(p));
+  }
+  loss_table.set_header(header);
+  tput_table.set_header(header);
+
+  for (const int cells : cells_list) {
+    for (const int reuse : reuse_list) {
+      if (!mac::SiteLayout::is_rhombic_number(reuse)) {
+        std::cerr << "skipping reuse=" << reuse
+                  << " (not a rhombic number)\n";
+        continue;
+      }
+      mac::CellularConfig base;
+      base.num_cells = cells;
+      base.params.num_voice_users = voice_users;
+      base.params.num_data_users = 5;
+      base.params.channel.shadow_sigma_db = 6.0;
+      // Link budget at the 200 m path-loss reference (see
+      // fig_handoff_loss.cpp for the calibration note).
+      base.params.channel.mean_snr_db = 26.0;
+      base.handoff_hysteresis_db = 4.0;
+      base.layout.kind = mac::SiteLayoutConfig::Kind::kHex;
+      base.layout.site_spacing_m = 1000.0;
+      base.layout.reuse_factor = reuse;
+      base.interference_activity = activity;
+      const auto [width, height] =
+          mac::SiteLayout::hex_field_extent(cells, 1000.0);
+      base.mobility.field_width_m = width;
+      base.mobility.field_height_m = height;
+      base.mobility.speed_mps = common::km_per_hour(50.0);
+      base.params.channel.doppler_hz =
+          channel::ChannelConfig::doppler_for_speed(base.mobility.speed_mps,
+                                                    2.0e9);
+
+      double mean_interf = 0.0;
+      std::vector<std::string> loss_row{std::to_string(cells),
+                                        std::to_string(reuse), ""};
+      std::vector<std::string> tput_row = loss_row;
+      for (auto id : protocols::all_protocols()) {
+        mac::CellularWorld world(base, [id](const mac::ScenarioParams& p) {
+          return protocols::make_protocol(id, p);
+        });
+        world.run(spec.warmup_s, spec.measure_s);
+        const auto m = world.aggregate_metrics();
+        loss_row.push_back(common::TextTable::sci(m.voice_loss_rate(), 2));
+        tput_row.push_back(
+            common::TextTable::num(m.data_throughput_per_frame(), 2));
+        mean_interf += m.mean_interference_db();
+      }
+      mean_interf /= static_cast<double>(protocols::all_protocols().size());
+      loss_row[2] = common::TextTable::num(mean_interf, 2);
+      tput_row[2] = loss_row[2];
+      loss_table.add_row(std::move(loss_row));
+      tput_table.add_row(std::move(tput_row));
+    }
+  }
+
+  loss_table.print(std::cout);
+  bench::maybe_write_csv(loss_table, "fig_reuse_voice_loss");
+  tput_table.print(std::cout);
+  bench::maybe_write_csv(tput_table, "fig_reuse_data_throughput");
+
+  std::cout
+      << "\nShape checks:\n"
+      << "  * The mean SINR penalty falls monotonically as the reuse\n"
+      << "    factor grows — fewer co-channel neighbours, less uplink\n"
+      << "    interference (exactly zero once every cell has its own\n"
+      << "    channel).\n"
+      << "  * Voice loss improves with reuse for every protocol; the\n"
+      << "    channel-adaptive ones (CHARISMA, D-TDMA/VR) recover most of\n"
+      << "    the gap at reuse 1 because their PHY adapts to the degraded\n"
+      << "    SINR instead of shipping packets into it.\n";
+  return 0;
+}

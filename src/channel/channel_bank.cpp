@@ -32,6 +32,8 @@ void ChannelBank::reserve(std::size_t users) {
   branch_count_.reserve(users);
   mean_snr_linear_.reserve(users);
   mean_snr_db_.reserve(users);
+  interference_db_.reserve(users);
+  interference_linear_.reserve(users);
   shadow_sigma_db_.reserve(users);
   inv_branch_count_.reserve(users);
   dt_.reserve(users);
@@ -76,6 +78,8 @@ std::size_t ChannelBank::add_user(const ChannelConfig& config,
   branch_count_.push_back(config.diversity_branches);
   mean_snr_linear_.push_back(common::from_db(config.mean_snr_db));
   mean_snr_db_.push_back(config.mean_snr_db);
+  interference_db_.push_back(0.0);
+  interference_linear_.push_back(1.0);
   inv_branch_count_.push_back(1.0 /
                               static_cast<double>(config.diversity_branches));
   shadow_sigma_db_.push_back(config.shadow_sigma_db);
@@ -225,6 +229,24 @@ void ChannelBank::set_mean_snr_db_all(std::span<const double> db) {
   }
 }
 
+void ChannelBank::set_interference_db_all(std::span<const double> db) {
+  const std::size_t n = configs_.size();
+  if (db.size() < n) {
+    throw std::invalid_argument(
+        "ChannelBank::set_interference_db_all: short span");
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    interference_db_[u] = db[u];
+  }
+  // Same two-pass structure as set_mean_snr_db_all: the pow() loop streams
+  // flat arrays and vectorizes under -fno-math-errno.
+  const double* src = db.data();
+  double* dst = interference_linear_.data();
+  for (std::size_t u = 0; u < n; ++u) {
+    dst[u] = common::from_db(-src[u]);
+  }
+}
+
 double ChannelBank::snr_db(std::size_t user) const {
   return common::to_db(snr_linear(user));
 }
@@ -238,9 +260,13 @@ void ChannelBank::snr_db_all(std::span<double> out) const {
   const double* mean_db = mean_snr_db_.data();
   const double* shadow = shadow_db_.data();
   const double* fade = fading_power_.data();
+  const double* interf = interference_db_.data();
   double* dst = out.data();
   for (std::size_t u = 0; u < n; ++u) {
-    dst[u] = mean_db[u] + shadow[u] + kTenOverLn10 * std::log(fade[u]);
+    // Subtracting the interference penalty last keeps the interference-free
+    // value (penalty 0.0) bit-identical to the pre-SINR pilot plane.
+    dst[u] = mean_db[u] + shadow[u] + kTenOverLn10 * std::log(fade[u]) -
+             interf[u];
   }
 }
 

@@ -80,18 +80,34 @@ class ChannelBank {
   /// of total_users scalar calls.
   void set_mean_snr_db_all(std::span<const double> db);
 
+  /// Bulk co-channel interference plane: db[u] is the SINR penalty
+  /// (10·log10(1 + I/N), >= 0) subtracted from every subsequent SNR read,
+  /// so snr_db()/snr_db_all()/snr_linear() report SINR. Like
+  /// set_mean_snr_db_all this touches neither the fading/shadowing state
+  /// nor the per-user RNG draw order, and a penalty of exactly 0 leaves
+  /// every read bit-identical to a bank that never saw interference —
+  /// both guarantees are pinned by tests/channel/channel_bank_test.cpp.
+  void set_interference_db_all(std::span<const double> db);
+
+  /// Current SINR penalty (dB) applied to `user`'s reads; 0 by default.
+  double interference_db(std::size_t user) const {
+    return interference_db_[user];
+  }
+
   /// Current link-budget mean SNR (dB) of `user`.
   double mean_snr_db(std::size_t user) const {
     return configs_[user].mean_snr_db;
   }
 
-  /// Instantaneous effective SNR (linear) of `user` at its current state.
-  /// The dB→linear shadowing conversion is lazy: an advance only marks it
-  /// stale, and the exp() is paid by the first read — protocol frames read
-  /// the SNR of a handful of candidates, not of the whole population.
+  /// Instantaneous effective SNR (linear) of `user` at its current state,
+  /// after the interference penalty (SINR when an interference plane is
+  /// set; the default penalty factor is exactly 1). The dB→linear
+  /// shadowing conversion is lazy: an advance only marks it stale, and
+  /// the exp() is paid by the first read — protocol frames read the SNR
+  /// of a handful of candidates, not of the whole population.
   double snr_linear(std::size_t user) const {
     return mean_snr_linear_[user] * fading_power_[user] *
-           shadow_linear(user);
+           shadow_linear(user) * interference_linear_[user];
   }
   double snr_db(std::size_t user) const;
 
@@ -162,6 +178,11 @@ class ChannelBank {
 
   std::vector<double> mean_snr_linear_;
   std::vector<double> mean_snr_db_;  // flat copy of configs_[u].mean_snr_db
+  // Interference penalty in both domains (dB subtracted by snr_db_all,
+  // linear factor 10^(-dB/10) multiplied by snr_linear); 0 dB / 1.0 until
+  // set_interference_db_all is called.
+  std::vector<double> interference_db_;
+  std::vector<double> interference_linear_;
   std::vector<double> shadow_sigma_db_;
   std::vector<double> inv_branch_count_;
   std::vector<common::Time> dt_;

@@ -45,6 +45,7 @@
 #include "mac/request_queue.hpp"
 #include "mac/reservation.hpp"
 #include "mac/scenario.hpp"
+#include "mac/site_layout.hpp"
 #include "phy/adaptive_phy.hpp"
 #include "phy/fixed_phy.hpp"
 #include "phy/modes.hpp"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/math.hpp"
 #include "mac/attachment.hpp"
 
 namespace charisma::mac {
@@ -27,7 +28,13 @@ CellularWorld::CellularWorld(const CellularConfig& config,
   if (!factory) {
     throw std::invalid_argument("CellularWorld: null engine factory");
   }
-  place_sites();
+  layout_ = SiteLayout(config_.layout, config_.num_cells,
+                       config_.mobility.field_width_m,
+                       config_.mobility.field_height_m);
+  cochannel_.reserve(static_cast<std::size_t>(config_.num_cells));
+  for (int c = 0; c < config_.num_cells; ++c) {
+    cochannel_.push_back(layout_.co_channel_interferers(c));
+  }
   cells_.reserve(static_cast<std::size_t>(config_.num_cells));
   for (int c = 0; c < config_.num_cells; ++c) {
     // Decorrelated sub-seed per cell: the same user's links to different
@@ -75,22 +82,16 @@ CellularWorld::CellularWorld(const CellularConfig& config,
   attached_.assign(users, 0);
   pilot_db_.assign(users * static_cast<std::size_t>(config_.num_cells), 0.0);
   snr_scratch_.assign(pilot_db_.size(), 0.0);
-  for_each_cell([this](std::size_t c) {
-    update_cell_snr_plane(static_cast<int>(c));
-  });
-  initialize_attachments();
-}
-
-void CellularWorld::place_sites() {
-  // Sites evenly spaced along the field's horizontal midline: users moving
-  // across the width sweep through every cell boundary.
-  sites_.clear();
-  const double step =
-      config_.mobility.field_width_m / static_cast<double>(config_.num_cells);
-  for (int c = 0; c < config_.num_cells; ++c) {
-    sites_.push_back({(static_cast<double>(c) + 0.5) * step,
-                      config_.mobility.field_height_m * 0.5});
+  cell_load_.assign(static_cast<std::size_t>(config_.num_cells), 0.0);
+  if (interference_enabled()) {
+    interference_scratch_.assign(pilot_db_.size(), 0.0);
+    interference_contrib_.assign(pilot_db_.size(), 0.0);
   }
+  // The first pilot snapshot sees zero loads (nobody is attached yet);
+  // initialize_attachments then seeds the loads the first epoch uses.
+  update_snr_planes();
+  initialize_attachments();
+  update_cell_loads();
 }
 
 double CellularWorld::mean_snr_at_distance_db(double d_m) const {
@@ -107,23 +108,86 @@ void CellularWorld::for_each_cell(const std::function<void(std::size_t)>& fn) {
 }
 
 void CellularWorld::update_cell_snr_plane(int c) {
-  // Share-nothing per-cell task: touches only this cell's bank and this
-  // cell's row of the scratch plane, reading the (quiescent) mobility
-  // positions. The row first stages the path-loss dB plane fed to
-  // set_mean_snr_db_all, then is overwritten with the pilot snapshot.
+  // Share-nothing per-cell task: touches only this cell's bank and rows
+  // of the scratch planes, reading the (quiescent) mobility positions and
+  // the coordinator-frozen load vector. The SNR row first stages the
+  // path-loss dB plane fed to set_mean_snr_db_all. With the interference
+  // plane on, the task also stages this cell's *own* linear interference
+  // contribution at every user position — load × INR, one from_db per
+  // (user, cell) instead of one per (user, interferer) in the summing
+  // phase — and the pilot snapshot moves to finalize_cell_interference,
+  // after the barrier freezes every cell's contribution row.
   const std::size_t users = attached_.size();
-  const Vec2 site = sites_[static_cast<std::size_t>(c)];
+  const bool interf = interference_enabled();
   double* row = snr_scratch_.data() + static_cast<std::size_t>(c) * users;
+  double* contrib = interf ? interference_contrib_.data() +
+                                 static_cast<std::size_t>(c) * users
+                           : nullptr;
+  const double load = interf ? cell_load_[static_cast<std::size_t>(c)] : 0.0;
   for (std::size_t u = 0; u < users; ++u) {
     const Vec2 pos = mobility_.position(static_cast<int>(u));
-    const double dx = pos.x - site.x;
-    const double dy = pos.y - site.y;
-    const double d_sq = std::max(dx * dx + dy * dy, min_distance_sq_m2_);
+    const double d_sq =
+        std::max(layout_.distance_sq(pos, c), min_distance_sq_m2_);
     row[u] = path_loss_c_db_ - path_loss_half_k_ * std::log(d_sq);
+    if (interf) {
+      contrib[u] = load * common::from_db(row[u]);
+    }
   }
   auto& bank = cells_[static_cast<std::size_t>(c)]->channel_bank();
   bank.set_mean_snr_db_all({row, users});
-  bank.snr_db_all({row, users});
+  if (!interf) {
+    bank.snr_db_all({row, users});
+  }
+}
+
+void CellularWorld::finalize_cell_interference(int c) {
+  // Second barrier phase (interference worlds only): sum the co-channel
+  // cells' frozen contribution rows into this cell's SINR penalties —
+  // same arithmetic, same ascending-site order as the reference
+  // mac::interference_penalty_db — then take the pilot snapshot. Reads
+  // every cell's contribution row (read-only after the barrier), writes
+  // only this cell's bank, metrics and scratch rows.
+  const std::size_t users = attached_.size();
+  double* row = snr_scratch_.data() + static_cast<std::size_t>(c) * users;
+  double* irow =
+      interference_scratch_.data() + static_cast<std::size_t>(c) * users;
+  const std::vector<int>& interferers =
+      cochannel_[static_cast<std::size_t>(c)];
+  double penalty_sum = 0.0;
+  for (std::size_t u = 0; u < users; ++u) {
+    double inr = 0.0;
+    for (const int s : interferers) {
+      if (cell_load_[static_cast<std::size_t>(s)] <= 0.0) continue;
+      inr += interference_contrib_[static_cast<std::size_t>(s) * users + u];
+    }
+    const double penalty = common::to_db(1.0 + inr);
+    irow[u] = penalty;
+    penalty_sum += penalty;
+  }
+  auto& cell = *cells_[static_cast<std::size_t>(c)];
+  cell.channel_bank().set_interference_db_all({irow, users});
+  cell.note_interference_epoch(
+      users > 0 ? penalty_sum / static_cast<double>(users) : 0.0);
+  cell.channel_bank().snr_db_all({row, users});
+}
+
+void CellularWorld::update_snr_planes() {
+  for_each_cell([this](std::size_t c) {
+    update_cell_snr_plane(static_cast<int>(c));
+  });
+  if (interference_enabled()) {
+    for_each_cell([this](std::size_t c) {
+      finalize_cell_interference(static_cast<int>(c));
+    });
+  }
+}
+
+void CellularWorld::update_cell_loads() {
+  if (!interference_enabled()) return;
+  std::fill(cell_load_.begin(), cell_load_.end(), 0.0);
+  for (const int c : attached_) {
+    cell_load_[static_cast<std::size_t>(c)] += config_.interference_activity;
+  }
 }
 
 void CellularWorld::blend_pilots(double alpha) {
@@ -197,17 +261,17 @@ void CellularWorld::run_window(common::Time duration) {
   while (remaining > kTimeEps) {
     const common::Time dt = std::min(config_.decision_interval, remaining);
     // Epoch structure: mobility moves everyone (coordinator), each cell
-    // re-anchors its SNR plane (parallel, share-nothing), attachment and
-    // handoffs run between the barriers (coordinator — they mutate pairs
-    // of engines), then every cell burns an epoch of MAC frames
-    // (parallel). Serial and parallel execution perform the identical
-    // per-cell arithmetic in the identical order, so metrics are
-    // bit-identical at any thread count.
+    // re-anchors its SNR/SINR plane (parallel, share-nothing, reading the
+    // frozen previous-epoch loads), attachment and handoffs run between
+    // the barriers (coordinator — they mutate pairs of engines) followed
+    // by the load aggregation that drives the next epoch's interference,
+    // then every cell burns an epoch of MAC frames (parallel). Serial and
+    // parallel execution perform the identical per-cell arithmetic in the
+    // identical order, so metrics are bit-identical at any thread count.
     mobility_.advance_to(now_ + dt);
-    for_each_cell([this](std::size_t c) {
-      update_cell_snr_plane(static_cast<int>(c));
-    });
+    update_snr_planes();
     update_pilots_and_attachments();
+    update_cell_loads();
     for_each_cell([this, dt](std::size_t c) { cells_[c]->advance_by(dt); });
     now_ += dt;
     remaining -= dt;

@@ -10,23 +10,35 @@
 //
 //   1. moves every user (MobilityModel),
 //   2. re-anchors each (user, cell) link's mean SNR from distance-based
-//      path loss and snapshots each cell's instantaneous pilot plane
-//      (ChannelBank::set_mean_snr_db_all / snr_db_all — fading/shadowing
-//      state and RNG draw order untouched),
+//      path loss, feeds the cell's per-user co-channel interference
+//      penalties (computed from the *previous* epoch's attached-user
+//      loads) through ChannelBank::set_interference_db_all, and snapshots
+//      each cell's instantaneous pilot plane (set_mean_snr_db_all /
+//      snr_db_all — fading/shadowing state and RNG draw order untouched).
+//      With interference enabled, pilots and in-cell SNR are SINR.
 //   3. updates per-(user, cell) filtered pilots and applies the
 //      strongest-with-hysteresis attachment rule
 //      (mac::strongest_with_hysteresis — every challenger measured
 //      against the *attached* pilot), executing handoffs that carry the
 //      user's traffic/backoff state into the target cell while the source
-//      protocol releases its reservation and queued requests,
+//      protocol releases its reservation and queued requests, then
+//      aggregates the new per-cell attached-user loads that drive the
+//      next epoch's interference plane,
 //   4. advances every engine by one epoch of MAC frames.
+//
+// Sites sit on a mac::SiteLayout — the historical line, or hexagonal
+// rings with an optional frequency-reuse pattern (only co-channel cells
+// interfere) and wrap-around distances for edge-free full-ring clusters.
 //
 // Cells are share-nothing — each engine owns its simulator, ChannelBank
 // and RNG streams — so steps 2 and 4 dispatch one task per cell across a
 // persistent experiment::WorkerPool (num_threads in the config). The
-// cross-cell steps (pilot filtering, attachment, handoff) stay on the
-// coordinating thread between the pool's barriers, which makes the world's
-// results bit-identical to a serial run at any thread count.
+// cross-cell steps (pilot filtering, attachment, handoff, load
+// aggregation) stay on the coordinating thread between the pool's
+// barriers, and each cell's interference row is computed inside its own
+// task from the frozen load vector, which keeps the world's results
+// bit-identical to a serial run at any thread count — interference
+// included (tests/mac/world_determinism_test.cpp).
 //
 // Handoffs, voice packets dropped in transit, and per-cell load all land in
 // ProtocolMetrics, so the existing reporting stack works unchanged.
@@ -41,6 +53,7 @@
 #include "mac/engine.hpp"
 #include "mac/mobility.hpp"
 #include "mac/scenario.hpp"
+#include "mac/site_layout.hpp"
 
 namespace charisma::mac {
 
@@ -55,6 +68,20 @@ struct CellularConfig {
   ScenarioParams params{};
 
   MobilityConfig mobility{};
+
+  /// Site geometry + frequency-reuse partition. The default (line layout,
+  /// spacing derived from the field width, reuse 1) reproduces the
+  /// historical site positions exactly.
+  SiteLayoutConfig layout{};
+
+  /// Per-attached-user transmit activity factor feeding the inter-cell
+  /// uplink interference plane: each cell's aggregate load is
+  /// activity × attached users, placed at its site, and co-channel loads
+  /// raise every neighbour link's SINR penalty. 0 (the default) disables
+  /// interference entirely — the legacy interference-free SNR world, bit
+  /// for bit. A voice-dominated population transmits roughly
+  /// talkspurt / (talkspurt + silence) ≈ 0.4 of the time.
+  double interference_activity = 0.0;
 
   /// Worker threads stepping the share-nothing cells in parallel: 1 (the
   /// default) runs serially on the caller, 0 picks the hardware
@@ -84,10 +111,11 @@ struct CellularConfig {
 
   bool valid() const {
     return num_cells >= 1 && params.valid() && mobility.valid() &&
-           handoff_hysteresis_db >= 0.0 && pilot_filter_tau > 0.0 &&
-           decision_interval > 0.0 && path_loss_exponent > 0.0 &&
-           reference_distance_m > 0.0 && min_distance_m > 0.0 &&
-           shadow_decorrelation_m >= 0.0;
+           layout.valid() && interference_activity >= 0.0 &&
+           interference_activity <= 1.0 && handoff_hysteresis_db >= 0.0 &&
+           pilot_filter_tau > 0.0 && decision_interval > 0.0 &&
+           path_loss_exponent > 0.0 && reference_distance_m > 0.0 &&
+           min_distance_m > 0.0 && shadow_decorrelation_m >= 0.0;
   }
 };
 
@@ -119,8 +147,24 @@ class CellularWorld {
   int attached_cell(common::UserId user) const {
     return attached_.at(static_cast<std::size_t>(user));
   }
-  Vec2 site_position(int c) const {
-    return sites_.at(static_cast<std::size_t>(c));
+  Vec2 site_position(int c) const { return layout_.position(c); }
+  const SiteLayout& layout() const { return layout_; }
+  /// Whether the uplink interference plane is active
+  /// (interference_activity > 0).
+  bool interference_enabled() const {
+    return config_.interference_activity > 0.0;
+  }
+  /// Current SINR penalty (dB, >= 0) on the (user, cell) link; exactly 0
+  /// when the plane is disabled or the cell has no co-channel load.
+  double interference_db(common::UserId user, int c) const {
+    return cells_.at(static_cast<std::size_t>(c))
+        ->channel_bank()
+        .interference_db(static_cast<std::size_t>(user));
+  }
+  /// The aggregate load (activity × attached users) cell `c` contributed
+  /// to the current epoch's interference plane.
+  double cell_load(int c) const {
+    return cell_load_.at(static_cast<std::size_t>(c));
   }
   const MobilityModel& mobility() const { return mobility_; }
   common::Time now() const { return now_; }
@@ -131,12 +175,24 @@ class CellularWorld {
   double mean_snr_at_distance_db(double d_m) const;
 
  private:
-  void place_sites();
   void initialize_attachments();
   /// Per-cell epoch task (runs on the pool): re-anchor the cell's mean-SNR
-  /// plane from the users' positions, then snapshot its instantaneous
-  /// pilots into this cell's row of snr_scratch_.
+  /// plane from the users' positions and stage the cell's own linear
+  /// interference contribution (load × INR at every user position); with
+  /// interference off it also takes the pilot snapshot into this cell's
+  /// row of snr_scratch_.
   void update_cell_snr_plane(int c);
+  /// Second per-cell barrier phase (interference worlds only): sum the
+  /// co-channel contribution rows frozen by the first barrier into this
+  /// cell's SINR penalty row, feed the bank, then take the pilot
+  /// snapshot.
+  void finalize_cell_interference(int c);
+  /// The per-epoch plane update: one barrier (plus the interference
+  /// summing barrier when the plane is on).
+  void update_snr_planes();
+  /// Coordinator step after attachment: refreshes cell_load_ (activity ×
+  /// attached users per cell) for the next epoch's interference plane.
+  void update_cell_loads();
   /// Low-pass blend of the scratch plane into the filtered pilot plane;
   /// alpha = 1 overwrites (initial attachment), pilot_alpha_ filters.
   void blend_pilots(double alpha);
@@ -154,12 +210,25 @@ class CellularWorld {
 
   CellularConfig config_;
   std::vector<std::unique_ptr<ProtocolEngine>> cells_;
-  std::vector<Vec2> sites_;
+  SiteLayout layout_;
   MobilityModel mobility_;
   std::unique_ptr<experiment::WorkerPool> pool_;  ///< null when serial
   std::vector<int> attached_;          ///< per-user cell index
   std::vector<double> pilot_db_;       ///< filtered, [user * cells + cell]
   std::vector<double> snr_scratch_;    ///< per-epoch, [cell * users + user]
+  /// Interference penalty plane staged per cell task, [cell * users +
+  /// user]; empty when the plane is disabled.
+  std::vector<double> interference_scratch_;
+  /// Each cell's own linear interference contribution (load × INR) at
+  /// every user position, [cell * users + user]: written by the cell's
+  /// first-phase task, read by every co-channel cell's summing phase
+  /// after the barrier. Empty when the plane is disabled.
+  std::vector<double> interference_contrib_;
+  /// Per-cell aggregate load (activity × attached users) frozen by the
+  /// coordinator each epoch; read-only inside the parallel cell tasks.
+  std::vector<double> cell_load_;
+  /// Per-cell co-channel interferer site lists (reuse partition).
+  std::vector<std::vector<int>> cochannel_;
   double pilot_alpha_ = 1.0;
   // Path loss in per-site precomputed form: db = C - K/2 * ln(d²) with the
   // reference-distance log10 folded into C, so the per-(user, cell) epoch

@@ -64,6 +64,15 @@ class ProtocolEngine {
   /// (MobileUser::adopt_service_state). No-op when already attached.
   void attach_user(common::UserId id);
 
+  /// Records one decision epoch of the world's inter-cell interference
+  /// plane for this cell: the mean SINR penalty (dB) across the per-user
+  /// plane just fed to the ChannelBank. Called by CellularWorld inside
+  /// the (share-nothing) per-cell epoch task; single-cell runs never
+  /// record a sample.
+  void note_interference_epoch(double mean_penalty_db) {
+    metrics_.interference_db.add(mean_penalty_db);
+  }
+
   const ProtocolMetrics& metrics() const { return metrics_; }
   const ScenarioParams& params() const { return params_; }
   common::Time now() const { return sim_.now(); }

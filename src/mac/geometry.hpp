@@ -1,12 +1,34 @@
-// TDMA frame geometry shared by every protocol on the common simulation
-// platform (paper Fig. 4 for CHARISMA; the baselines re-divide the same
-// symbol budget according to their own frame structures, see each
-// protocol's header).
+// Geometry shared by every protocol on the common simulation platform:
+// the TDMA frame layout (paper Fig. 4 for CHARISMA; the baselines
+// re-divide the same symbol budget according to their own frame
+// structures, see each protocol's header) and the planar vector type the
+// spatial layers (mobility, site layout, interference) are built on.
 #pragma once
+
+#include <cmath>
 
 #include "common/units.hpp"
 
 namespace charisma::mac {
+
+/// A point (or displacement) in the service area, metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Squared Euclidean distance — the path-loss planes work on squared
+/// distances so the hot loops pay no sqrt.
+inline double distance_sq_m2(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between two points, metres.
+inline double distance_m(const Vec2& a, const Vec2& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
 
 struct FrameGeometry {
   common::Time frame_duration = 2.5e-3;  ///< paper §4.1

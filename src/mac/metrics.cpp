@@ -25,6 +25,7 @@ void ProtocolMetrics::merge(const ProtocolMetrics& other) {
   handoffs_out += other.handoffs_out;
   voice_dropped_handoff += other.voice_dropped_handoff;
   attached_user_frames += other.attached_user_frames;
+  interference_db.merge(other.interference_db);
   request_slots += other.request_slots;
   request_successes += other.request_successes;
   request_collisions += other.request_collisions;
@@ -96,6 +97,10 @@ double ProtocolMetrics::voice_handoff_drop_rate() const {
 double ProtocolMetrics::mean_attached_users() const {
   return safe_div(static_cast<double>(attached_user_frames),
                   static_cast<double>(frames));
+}
+
+double ProtocolMetrics::mean_interference_db() const {
+  return interference_db.count() > 0 ? interference_db.mean() : 0.0;
 }
 
 double ProtocolMetrics::handoff_rate_hz() const {

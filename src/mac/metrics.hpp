@@ -53,6 +53,13 @@ struct ProtocolMetrics {
   /// divide by frames for the mean (mean_attached_users()).
   std::int64_t attached_user_frames = 0;
 
+  // Inter-cell interference accounting (CellularWorld's uplink SINR
+  // plane). One sample per decision epoch: the mean SINR penalty (dB,
+  // 10·log10(1 + I/N)) across this cell's per-user interference plane.
+  // count() stays 0 when the interference plane is disabled (single-cell
+  // runs, legacy worlds).
+  common::Accumulator interference_db;
+
   // Request-phase accounting (per minislot).
   std::int64_t request_slots = 0;
   std::int64_t request_successes = 0;
@@ -121,6 +128,8 @@ struct ProtocolMetrics {
 
   /// Mean number of attached users per frame (per-cell load).
   double mean_attached_users() const;
+  /// Mean per-epoch SINR penalty (dB); 0 when no interference plane ran.
+  double mean_interference_db() const;
   /// Handoffs out of this cell per measured second.
   double handoff_rate_hz() const;
 

@@ -6,10 +6,6 @@
 
 namespace charisma::mac {
 
-double distance_m(const Vec2& a, const Vec2& b) {
-  return std::hypot(a.x - b.x, a.y - b.y);
-}
-
 MobilityModel::MobilityModel(const MobilityConfig& config, int num_users,
                              common::RngStream rng)
     : config_(config), rng_(std::move(rng)) {

@@ -17,16 +17,9 @@
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "mac/geometry.hpp"  // Vec2 / distance_m
 
 namespace charisma::mac {
-
-struct Vec2 {
-  double x = 0.0;
-  double y = 0.0;
-};
-
-/// Euclidean distance between two points, metres.
-double distance_m(const Vec2& a, const Vec2& b);
 
 struct MobilityConfig {
   enum class Model { kConstantVelocity, kRandomWaypoint };

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "channel/user_channel.hpp"
 #include "common/math.hpp"
 #include "common/rng.hpp"
@@ -220,6 +222,84 @@ TEST(ChannelBank, SetMeanSnrDbAllMatchesScalarWrites) {
   }
   std::vector<double> too_short(bulk.size() - 1);
   EXPECT_THROW(bulk.set_mean_snr_db_all(too_short), std::invalid_argument);
+}
+
+TEST(ChannelBank, SetInterferenceLeavesStateAndDrawsUntouched) {
+  // The interference plane is the same kind of no-RNG fast path as
+  // set_mean_snr_db_all: feeding a fresh penalty plane every step must
+  // not touch the fading/shadowing state or consume a draw, and a user
+  // whose penalty is restored to 0 reads bit-identically to a bank that
+  // never saw interference.
+  ChannelBank loaded, clean;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    loaded.add_user(test_config(), common::RngStream(s));
+    clean.add_user(test_config(), common::RngStream(s));
+  }
+  std::vector<double> penalty(loaded.size());
+  for (int i = 1; i <= 100; ++i) {
+    const double t = static_cast<double>(i) * 2.5e-3;
+    loaded.advance_all_to(t);
+    clean.advance_all_to(t);
+    for (std::size_t u = 0; u < penalty.size(); ++u) {
+      penalty[u] = static_cast<double>((i + static_cast<int>(u)) % 5);
+    }
+    penalty[0] = 0.0;
+    loaded.set_interference_db_all(penalty);
+    for (std::size_t u = 0; u < loaded.size(); ++u) {
+      ASSERT_DOUBLE_EQ(loaded.fading_power(u), clean.fading_power(u));
+      ASSERT_DOUBLE_EQ(loaded.shadow_db(u), clean.shadow_db(u));
+      ASSERT_DOUBLE_EQ(loaded.interference_db(u), penalty[u]);
+    }
+    // User 0 carries no penalty: its SINR is the untouched twin's SNR,
+    // bit for bit.
+    ASSERT_DOUBLE_EQ(loaded.snr_linear(0), clean.snr_linear(0));
+    ASSERT_DOUBLE_EQ(loaded.snr_db(0), clean.snr_db(0));
+  }
+  // After 100 steps of penalty churn the innovation streams are still
+  // draw-for-draw aligned.
+  loaded.advance_all_to(0.5);
+  clean.advance_all_to(0.5);
+  for (std::size_t u = 0; u < loaded.size(); ++u) {
+    ASSERT_DOUBLE_EQ(loaded.fading_power(u), clean.fading_power(u));
+    ASSERT_DOUBLE_EQ(loaded.shadow_db(u), clean.shadow_db(u));
+  }
+}
+
+TEST(ChannelBank, InterferenceLowersSnrByThePenalty) {
+  ChannelBank bank;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    bank.add_user(test_config(), common::RngStream(s));
+  }
+  bank.advance_all_to(0.25);
+  std::vector<double> baseline(bank.size());
+  bank.snr_db_all(baseline);
+  double previous_snr = bank.snr_db(1);
+  for (double db : {1.5, 4.0, 9.0}) {
+    std::vector<double> penalty(bank.size(), db);
+    bank.set_interference_db_all(penalty);
+    // SINR == SNR - penalty in dB, for both the bulk plane and the
+    // scalar read; monotone: a larger penalty always reads lower.
+    std::vector<double> sinr(bank.size());
+    bank.snr_db_all(sinr);
+    for (std::size_t u = 0; u < bank.size(); ++u) {
+      EXPECT_DOUBLE_EQ(sinr[u], baseline[u] - db);
+      EXPECT_NEAR(bank.snr_db(u), baseline[u] - db, 1e-9);
+    }
+    EXPECT_LT(bank.snr_db(1), previous_snr);
+    previous_snr = bank.snr_db(1);
+  }
+  // Restoring a zero plane restores the interference-free reads exactly.
+  std::vector<double> zero(bank.size(), 0.0);
+  bank.set_interference_db_all(zero);
+  std::vector<double> restored(bank.size());
+  bank.snr_db_all(restored);
+  for (std::size_t u = 0; u < bank.size(); ++u) {
+    EXPECT_EQ(restored[u], baseline[u]);  // bitwise
+    EXPECT_EQ(bank.interference_db(u), 0.0);
+  }
+  std::vector<double> too_short(bank.size() - 1);
+  EXPECT_THROW(bank.set_interference_db_all(too_short),
+               std::invalid_argument);
 }
 
 TEST(ChannelBank, InvalidConfigsThrow) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
 #include "protocols/factory.hpp"
 
 namespace charisma::mac {
@@ -127,6 +132,191 @@ TEST(CellularWorld, PathLossFallsWithDistance) {
   // Clamped below min_distance: standing on the site is finite.
   EXPECT_EQ(world.mean_snr_at_distance_db(0.0),
             world.mean_snr_at_distance_db(5.0));
+}
+
+/// A 7-cell hexagonal world with the interference plane on (activity and
+/// reuse configurable).
+CellularConfig hex_world(double activity, int reuse,
+                         std::uint64_t seed = 9) {
+  CellularConfig cfg;
+  cfg.num_cells = 7;
+  cfg.params.num_voice_users = 10;
+  cfg.params.num_data_users = 2;
+  cfg.params.seed = seed;
+  cfg.params.channel.shadow_sigma_db = 6.0;
+  cfg.layout.kind = SiteLayoutConfig::Kind::kHex;
+  cfg.layout.site_spacing_m = 600.0;
+  cfg.layout.reuse_factor = reuse;
+  cfg.interference_activity = activity;
+  const auto [width, height] = SiteLayout::hex_field_extent(7, 600.0);
+  cfg.mobility.field_width_m = width;
+  cfg.mobility.field_height_m = height;
+  cfg.mobility.speed_mps = common::km_per_hour(100.0);
+  cfg.handoff_hysteresis_db = 2.0;
+  return cfg;
+}
+
+TEST(CellularWorldInterference, SinrNeverExceedsSnr) {
+  // The SINR penalty is non-negative on every (user, cell) link — the
+  // interference plane can only degrade a link, never improve it — and a
+  // loaded reuse-1 cluster degrades at least one link strictly.
+  CellularWorld world(hex_world(/*activity=*/0.45, /*reuse=*/1),
+                      factory_for(protocols::ProtocolId::kDtdmaFr));
+  ASSERT_TRUE(world.interference_enabled());
+  world.run(0.2, 1.0);
+  const int users = world.cell(0).params().total_users();
+  double max_penalty = 0.0;
+  for (int c = 0; c < world.num_cells(); ++c) {
+    for (int u = 0; u < users; ++u) {
+      const double penalty =
+          world.interference_db(static_cast<common::UserId>(u), c);
+      EXPECT_GE(penalty, 0.0) << "user " << u << " cell " << c;
+      max_penalty = std::max(max_penalty, penalty);
+    }
+  }
+  EXPECT_GT(max_penalty, 0.0);
+  const auto m = world.aggregate_metrics();
+  EXPECT_GT(m.interference_db.count(), 0);
+  EXPECT_GT(m.mean_interference_db(), 0.0);
+}
+
+TEST(CellularWorldInterference, OwnChannelPerCellMatchesDisabledBitForBit) {
+  // reuse -> infinity limit: with one channel per cell there is no
+  // co-channel neighbour, every penalty is exactly 0.0, and the world is
+  // bit-identical to one with the interference plane disabled — metrics,
+  // handoffs and attachments alike (only the interference accumulator's
+  // sample count may differ, by construction).
+  auto with_plane = hex_world(/*activity=*/0.45, /*reuse=*/7);
+  auto without = with_plane;
+  without.interference_activity = 0.0;
+  CellularWorld a(with_plane, factory_for(protocols::ProtocolId::kCharisma));
+  CellularWorld b(without, factory_for(protocols::ProtocolId::kCharisma));
+  // One channel per cell in the 7-site cluster: nobody is anybody's
+  // interferer.
+  for (int c = 0; c < a.num_cells(); ++c) {
+    ASSERT_TRUE(a.layout().co_channel_interferers(c).empty());
+  }
+  a.run(0.3, 1.0);
+  b.run(0.3, 1.0);
+  EXPECT_EQ(a.handoffs(), b.handoffs());
+  const int users = a.cell(0).params().total_users();
+  for (int u = 0; u < users; ++u) {
+    EXPECT_EQ(a.attached_cell(static_cast<common::UserId>(u)),
+              b.attached_cell(static_cast<common::UserId>(u)));
+    for (int c = 0; c < a.num_cells(); ++c) {
+      EXPECT_EQ(a.interference_db(static_cast<common::UserId>(u), c), 0.0);
+    }
+  }
+  auto ma = a.aggregate_metrics();
+  auto mb = b.aggregate_metrics();
+  EXPECT_GT(ma.voice_generated, 0);
+  EXPECT_GT(ma.interference_db.count(), 0);   // the plane did run ...
+  EXPECT_EQ(ma.interference_db.mean(), 0.0);  // ... and recorded only zeros
+  ma.interference_db = {};
+  mb.interference_db = {};
+  EXPECT_TRUE(ma == mb);
+}
+
+TEST(CellularWorldInterference, PenaltyIsMonotoneInNeighborLoad) {
+  // The pure per-(user, cell) penalty under the world's own layout and
+  // path-loss constants: zero at zero load, monotone non-decreasing in
+  // every co-channel load, indifferent to non-co-channel load — which is
+  // exactly "higher neighbour load => lower pilot at a fixed position",
+  // since the pilot is snr_db minus this penalty.
+  const SiteLayout layout(
+      [] {
+        SiteLayoutConfig cfg;
+        cfg.kind = SiteLayoutConfig::Kind::kHex;
+        cfg.site_spacing_m = 600.0;
+        cfg.reuse_factor = 3;
+        return cfg;
+      }(),
+      // 19 sites: with reuse 3 the centre site's co-channel partners sit
+      // in ring 2 (sqrt(3) spacings away), so its interferer set is
+      // non-empty — in a 7-site cluster it would be.
+      19, 4000.0, 4000.0);
+  // Any positive path-loss constants work for the property; these are
+  // roughly the world's defaults (26 dB at 200 m, exponent 3.5).
+  const double c_db = 106.5;
+  const double half_k = 7.6;
+  const double min_d_sq = 100.0;
+  const int serving = 0;
+  const auto interferers = layout.co_channel_interferers(serving);
+  ASSERT_FALSE(interferers.empty());
+  const Vec2 positions[] = {{2000.0, 2000.0}, {2300.0, 1800.0},
+                            {1500.0, 2600.0}};
+  for (const Vec2& p : positions) {
+    std::vector<double> load(static_cast<std::size_t>(layout.num_sites()),
+                             0.0);
+    EXPECT_EQ(interference_penalty_db(layout, serving, load, p, c_db,
+                                      half_k, min_d_sq),
+              0.0);  // exactly: idle neighbourhood leaves SINR == SNR
+    double previous = 0.0;
+    for (double level : {0.1, 0.4, 0.8, 1.0}) {
+      for (const int s : interferers) {
+        load[static_cast<std::size_t>(s)] = level;
+      }
+      const double penalty = interference_penalty_db(
+          layout, serving, load, p, c_db, half_k, min_d_sq);
+      EXPECT_GT(penalty, previous);
+      previous = penalty;
+    }
+    // Load on a non-co-channel site (or the serving site itself) changes
+    // nothing.
+    const double baseline = previous;
+    for (int s = 0; s < layout.num_sites(); ++s) {
+      if (s != serving && layout.co_channel(s, serving)) continue;
+      auto bumped = load;
+      bumped[static_cast<std::size_t>(s)] = 1.0;
+      EXPECT_EQ(interference_penalty_db(layout, serving, bumped, p, c_db,
+                                        half_k, min_d_sq),
+                baseline);
+    }
+  }
+}
+
+TEST(CellularWorldInterference, WorldPenaltyMatchesReferenceFormula) {
+  // The world stages per-cell contribution rows and sums them in a second
+  // barrier phase; this pins that optimisation to the reference
+  // semantics: penalty(u, c) = 10·log10(1 + Σ load(s)·INR_s(u)) over c's
+  // co-channel sites, with INR from the world's own path-loss curve.
+  // Static users + infinite hysteresis freeze attachments, so the loads
+  // the last epoch used are exactly the ones the accessors report.
+  auto cfg = hex_world(/*activity=*/0.45, /*reuse=*/1);
+  cfg.mobility.speed_mps = 0.0;
+  cfg.handoff_hysteresis_db = 200.0;
+  CellularWorld world(cfg, factory_for(protocols::ProtocolId::kDtdmaFr));
+  world.run(0.1, 0.4);
+  EXPECT_EQ(world.handoffs(), 0);
+  const int users = world.cell(0).params().total_users();
+  for (int c = 0; c < world.num_cells(); ++c) {
+    for (int u = 0; u < users; ++u) {
+      const Vec2 pos = world.mobility().position(u);
+      double inr = 0.0;
+      for (const int s : world.layout().co_channel_interferers(c)) {
+        if (world.cell_load(s) <= 0.0) continue;
+        const double d = std::sqrt(world.layout().distance_sq(pos, s));
+        inr += world.cell_load(s) *
+               common::from_db(world.mean_snr_at_distance_db(d));
+      }
+      EXPECT_NEAR(world.interference_db(static_cast<common::UserId>(u), c),
+                  common::to_db(1.0 + inr), 1e-9)
+          << "user " << u << " cell " << c;
+    }
+  }
+}
+
+TEST(CellularWorldInterference, ValidationAndDefaults) {
+  auto cfg = hex_world(0.45, 3);
+  cfg.interference_activity = 1.5;  // activity is a duty-cycle fraction
+  EXPECT_THROW(
+      CellularWorld(cfg, factory_for(protocols::ProtocolId::kDtdmaFr)),
+      std::invalid_argument);
+  // Legacy configs leave the plane off.
+  CellularWorld legacy(small_world(),
+                       factory_for(protocols::ProtocolId::kDtdmaFr));
+  EXPECT_FALSE(legacy.interference_enabled());
+  EXPECT_EQ(legacy.aggregate_metrics().interference_db.count(), 0);
 }
 
 TEST(CellularWorld, Validation) {

@@ -54,8 +54,22 @@ Mobility / multi-cell (cells >= 2 enables the CellularWorld scenario):
                        waypoint)
   cell_radius_m=F      half the site spacing; field scales with cells
                        (default 500)
-  In this mode the table gains handoff columns; mean_snr_db is the link
-  budget at the path-loss reference distance.
+  layout=line|hex      site geometry: sites on the field midline, or
+                       hexagonal rings (full rings at 1/7/19/... cells;
+                       the field is sized to the grid) (default line)
+  reuse=N              frequency-reuse factor — only co-channel cells
+                       interfere (hex needs 1, 3, 4, 7, 9, 12, ...;
+                       default 1 = every cell on the same channel)
+  wrap=0|1             wrap distances around a full-ring hex cluster
+                       (removes layout-edge effects; default 0)
+  interference=F       per-attached-user activity factor of the uplink
+                       co-channel interference (SINR) plane; 0 disables
+                       (default 0.4 for layout=hex, 0 for line)
+  verify=0|1           re-run each point with threads=1 and require
+                       bit-identical metrics + a non-empty window (the
+                       interference_world_smoke ctest; default 0)
+  In this mode the table gains handoff and mean-SINR-penalty columns;
+  mean_snr_db is the link budget at the path-loss reference distance.
 
 Geometry:
   request_slots=N info_slots=N pilot_slots=N
@@ -190,10 +204,33 @@ mac::CellularConfig cellular_from(const common::KeyValueConfig& config,
       config.get_string_or("mobility", "waypoint") == "vector"
           ? mac::MobilityConfig::Model::kConstantVelocity
           : mac::MobilityConfig::Model::kRandomWaypoint;
+
+  const std::string layout = config.get_string_or("layout", "line");
+  if (layout != "line" && layout != "hex") {
+    throw std::invalid_argument("layout= must be line or hex");
+  }
+  const bool hex = layout == "hex";
+  world.layout.kind = hex ? mac::SiteLayoutConfig::Kind::kHex
+                          : mac::SiteLayoutConfig::Kind::kLine;
+  world.layout.reuse_factor = config.get_int_or("reuse", 1);
+  world.layout.wrap_around = config.get_bool_or("wrap", false);
+  // Hex cells carry co-channel interference by default; the line world
+  // keeps its historical interference-free behaviour unless asked.
+  world.interference_activity =
+      config.get_double_or("interference", hex ? 0.4 : 0.0);
+
   const double radius = config.get_double_or("cell_radius_m", 500.0);
-  world.mobility.field_width_m =
-      2.0 * radius * static_cast<double>(std::max(world.num_cells, 1));
-  world.mobility.field_height_m = 2.0 * radius;
+  if (hex) {
+    world.layout.site_spacing_m = 2.0 * radius;
+    const auto [width, height] = mac::SiteLayout::hex_field_extent(
+        world.num_cells, world.layout.site_spacing_m);
+    world.mobility.field_width_m = width;
+    world.mobility.field_height_m = height;
+  } else {
+    world.mobility.field_width_m =
+        2.0 * radius * static_cast<double>(std::max(world.num_cells, 1));
+    world.mobility.field_height_m = 2.0 * radius;
+  }
   return world;
 }
 
@@ -202,24 +239,44 @@ void run_cellular(const common::KeyValueConfig& config,
                   const std::vector<protocols::ProtocolId>& protocol_list,
                   common::TextTable& table) {
   const auto world_cfg = cellular_from(config, spec.params);
+  const bool verify = config.get_bool_or("verify", false);
   for (auto id : protocol_list) {
-    common::Accumulator loss, err, handoff_drop, tput, delay, handoff_hz;
+    common::Accumulator loss, err, handoff_drop, tput, delay, handoff_hz,
+        interference;
     for (int rep = 0; rep < spec.replications; ++rep) {
       auto cfg = world_cfg;
       cfg.params.seed =
           experiment::replication_seed(spec.params.seed, /*point=*/0, rep);
-      mac::CellularWorld world(
-          cfg, [&](const mac::ScenarioParams& p) {
-            return protocols::make_protocol(id, p, spec.charisma);
-          });
+      const auto factory = [&](const mac::ScenarioParams& p) {
+        return protocols::make_protocol(id, p, spec.charisma);
+      };
+      mac::CellularWorld world(cfg, factory);
       world.run(spec.warmup_s, spec.measure_s);
       const auto m = world.aggregate_metrics();
+      if (verify && rep == 0) {
+        // The smoke-test teeth: a non-empty window, and the same
+        // bit-identical-to-serial guarantee the determinism test pins.
+        if (m.voice_generated <= 0 && m.data_generated <= 0) {
+          throw std::runtime_error("verify=1: empty measurement window");
+        }
+        auto serial_cfg = cfg;
+        serial_cfg.num_threads = 1;
+        mac::CellularWorld serial(serial_cfg, factory);
+        serial.run(spec.warmup_s, spec.measure_s);
+        if (!(serial.aggregate_metrics() == m) ||
+            serial.handoffs() != world.handoffs()) {
+          throw std::runtime_error(
+              "verify=1: parallel world metrics diverged from the serial "
+              "run (" + std::string(protocols::protocol_name(id)) + ")");
+        }
+      }
       loss.add(m.voice_loss_rate());
       err.add(m.voice_error_rate());
       handoff_drop.add(m.voice_handoff_drop_rate());
       tput.add(m.data_throughput_per_frame());
       delay.add(m.mean_data_delay_s());
       handoff_hz.add(m.handoff_rate_hz());
+      interference.add(m.mean_interference_db());
     }
     table.add_row({protocols::protocol_name(id),
                    common::TextTable::sci(loss.mean(), 3),
@@ -227,7 +284,8 @@ void run_cellular(const common::KeyValueConfig& config,
                    common::TextTable::sci(handoff_drop.mean(), 3),
                    common::TextTable::num(handoff_hz.mean(), 2),
                    common::TextTable::num(tput.mean(), 2),
-                   common::TextTable::num(delay.mean(), 3)});
+                   common::TextTable::num(delay.mean(), 3),
+                   common::TextTable::num(interference.mean(), 2)});
   }
 }
 
@@ -282,7 +340,7 @@ int main(int argc, char** argv) {
       common::TextTable table("charisma_sim multi-cell mobility results");
       table.set_header({"protocol", "voice loss", "voice err",
                         "handoff drop", "handoffs/s", "data tput/frame",
-                        "data delay (s)"});
+                        "data delay (s)", "interf (dB)"});
       run_cellular(config, spec, protocol_list, table);
       table.print(std::cout);
       if (config.contains("csv")) {
