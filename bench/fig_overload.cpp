@@ -1,0 +1,243 @@
+// Graceful-degradation bench — overload survival with closed-loop access
+// barring, plus the cell-outage recovery sweep (PR 6 robustness layer).
+//
+// Part 1 sweeps offered load at 1x..10x the nominal population with
+// barring off and on, for the contention-bound protocols (PRMA's direct
+// packet contention and RMAV's single competitive slot collapse first
+// under flash crowds; CHARISMA's minislot requests stay capacity-bound, so
+// barring cannot and should not change its loss — that case is covered by
+// the bit-identical regression test instead). The headline check: at >=5x
+// load, barring-on must yield strictly lower voice loss than barring-off.
+//
+// Part 2 runs a 3-cell world through a mid-run cell outage and compares
+// against the identically-seeded never-failed run: evicted users must
+// re-attach (accounting invariant: handoffs_in == handoffs_out +
+// outage_evictions) and the post-recovery world must keep serving traffic.
+//
+// Knobs (all optional):
+//   CHARISMA_BENCH_OVERLOAD_VOICE     nominal voice users (default 60)
+//   CHARISMA_BENCH_OVERLOAD_DATA     nominal data users (default 10)
+//   CHARISMA_BENCH_OVERLOAD_WARMUP   warmup seconds per point (default 2)
+//   CHARISMA_BENCH_OVERLOAD_MEASURE  measured seconds per point (default 4)
+//   CHARISMA_BENCH_OVERLOAD_FACTORS  comma list of load factors
+//                                    (default 1,2,5,10)
+//   CHARISMA_BENCH_OVERLOAD_PROTOCOLS comma list (default prma,rmav)
+//   CHARISMA_BENCH_JSON_DIR          where BENCH_overload.json lands
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+
+namespace {
+
+using namespace charisma;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+struct OverloadPoint {
+  std::string protocol;
+  int factor = 1;
+  bool barring = false;
+  double voice_loss = 0.0;
+  double data_delay_s = 0.0;
+  double effective_barring = 0.0;
+  double collision_ratio = 0.0;
+};
+
+struct OutagePoint {
+  std::string label;
+  double voice_loss = 0.0;
+  std::int64_t evictions = 0;
+  std::int64_t voice_dropped_outage = 0;
+  bool accounting_ok = true;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Overload survival: loss/delay vs offered load, barring off/on, "
+      "plus cell-outage recovery",
+      "CHARISMA extension (no paper figure); PR 6 trajectory point");
+
+  const int voice = bench::env_int("CHARISMA_BENCH_OVERLOAD_VOICE", 60);
+  const int data = bench::env_int("CHARISMA_BENCH_OVERLOAD_DATA", 10);
+  const double warmup_s =
+      bench::env_double("CHARISMA_BENCH_OVERLOAD_WARMUP", 2.0);
+  const double measure_s =
+      bench::env_double("CHARISMA_BENCH_OVERLOAD_MEASURE", 4.0);
+  const auto factor_tokens =
+      split_csv(env_str("CHARISMA_BENCH_OVERLOAD_FACTORS", "1,2,5,10"));
+  const auto protocol_names =
+      split_csv(env_str("CHARISMA_BENCH_OVERLOAD_PROTOCOLS", "prma,rmav"));
+
+  std::vector<int> factors;
+  for (const auto& t : factor_tokens) factors.push_back(std::stoi(t));
+  std::vector<protocols::ProtocolId> ids;
+  for (const auto& n : protocol_names) {
+    ids.push_back(protocols::parse_protocol(n));
+  }
+
+  common::TextTable table("Voice loss and data delay vs offered load");
+  table.set_header({"protocol", "load", "barring", "voice loss",
+                    "data delay (s)", "eff. barring", "coll. ratio"});
+
+  std::vector<OverloadPoint> points;
+  for (auto id : ids) {
+    for (int factor : factors) {
+      for (bool barring : {false, true}) {
+        mac::ScenarioParams params;
+        params.num_voice_users = voice * factor;
+        params.num_data_users = data * factor;
+        params.seed = 5;
+        params.barring.enabled = barring;
+        auto engine = protocols::make_protocol(id, params);
+        engine->run(warmup_s, measure_s);
+        const auto& m = engine->metrics();
+
+        OverloadPoint p;
+        p.protocol = protocols::protocol_name(id);
+        p.factor = factor;
+        p.barring = barring;
+        p.voice_loss = m.voice_loss_rate();
+        p.data_delay_s = m.mean_data_delay_s();
+        p.effective_barring = m.effective_barring_probability();
+        p.collision_ratio =
+            m.request_slots > 0
+                ? static_cast<double>(m.request_collisions) /
+                      static_cast<double>(m.request_slots)
+                : 0.0;
+        points.push_back(p);
+
+        table.add_row({p.protocol, std::to_string(factor) + "x",
+                       barring ? "on" : "off",
+                       common::TextTable::sci(p.voice_loss, 3),
+                       common::TextTable::num(p.data_delay_s, 3),
+                       common::TextTable::num(p.effective_barring, 3),
+                       common::TextTable::num(p.collision_ratio, 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(table, "fig_overload");
+
+  // The graceful-degradation claim this bench exists to demonstrate:
+  // wherever contention has collapsed (>=5x load), closing the loop must
+  // strictly lower voice loss.
+  bool degradation_ok = true;
+  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+    const auto& off = points[i];
+    const auto& on = points[i + 1];
+    if (off.factor >= 5 && !(on.voice_loss < off.voice_loss)) {
+      degradation_ok = false;
+      std::cout << "DEGRADATION CHECK FAILED: " << off.protocol << " "
+                << off.factor << "x barring-on loss " << on.voice_loss
+                << " not below barring-off " << off.voice_loss << '\n';
+    }
+  }
+  std::cout << "\nbarring-on strictly lowers voice loss at >=5x load: "
+            << (degradation_ok ? "yes" : "NO — BUG") << '\n';
+
+  // Part 2: outage and recovery in a 3-cell world. The outage window sits
+  // entirely inside the measurement window so the dropped traffic lands in
+  // the books; the run extends two seconds past recovery so re-attachment
+  // and fresh service show up in the same aggregate.
+  std::vector<OutagePoint> outage_points;
+  bool accounting_ok = true;
+  for (bool with_outage : {false, true}) {
+    mac::CellularConfig cfg;
+    cfg.num_cells = 3;
+    cfg.num_threads = 1;
+    cfg.params.num_voice_users = 30;
+    cfg.params.num_data_users = 6;
+    cfg.params.seed = 7;
+    cfg.params.channel.mean_snr_db = 26.0;
+    cfg.params.channel.shadow_sigma_db = 6.0;
+    cfg.mobility.field_width_m = 1500.0;
+    cfg.mobility.field_height_m = 300.0;
+    cfg.mobility.speed_mps = common::km_per_hour(50.0);
+    cfg.handoff_hysteresis_db = 2.0;
+    if (with_outage) {
+      cfg.outages.push_back({1, warmup_s + 1.0, warmup_s + 2.0});
+    }
+    mac::CellularWorld world(cfg, [](const mac::ScenarioParams& p) {
+      return protocols::make_protocol(protocols::ProtocolId::kCharisma, p);
+    });
+    world.run(warmup_s, measure_s + 2.0);
+    const auto m = world.aggregate_metrics();
+
+    OutagePoint p;
+    p.label = with_outage ? "outage_cell1" : "never_failed";
+    p.voice_loss = m.voice_loss_rate();
+    p.evictions = m.outage_evictions;
+    p.voice_dropped_outage = m.voice_dropped_outage;
+    p.accounting_ok =
+        m.handoffs_in == m.handoffs_out + m.outage_evictions;
+    accounting_ok = accounting_ok && p.accounting_ok;
+    outage_points.push_back(p);
+    std::cout << p.label << ": voice loss "
+              << common::TextTable::sci(p.voice_loss, 3) << ", evictions "
+              << p.evictions << ", voice dropped by outage "
+              << p.voice_dropped_outage << ", accounting "
+              << (p.accounting_ok ? "ok" : "BROKEN") << '\n';
+  }
+
+  const char* dir = std::getenv("CHARISMA_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_overload.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "could not write " << path << '\n';
+    return degradation_ok && accounting_ok ? 0 : 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"overload_survival\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"nominal_voice_users\": " << voice << ",\n"
+      << "  \"nominal_data_users\": " << data << ",\n"
+      << "  \"measure_s\": " << measure_s << ",\n"
+      << "  \"barring_strictly_lowers_loss_at_5x_plus\": "
+      << (degradation_ok ? "true" : "false") << ",\n"
+      << "  \"outage_accounting_ok\": " << (accounting_ok ? "true" : "false")
+      << ",\n"
+      << "  \"overload_points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"protocol\": \"" << p.protocol << "\", \"load_factor\": "
+        << p.factor << ", \"barring\": " << (p.barring ? "true" : "false")
+        << ", \"voice_loss\": " << p.voice_loss << ", \"data_delay_s\": "
+        << p.data_delay_s << ", \"effective_barring\": "
+        << p.effective_barring << ", \"collision_ratio\": "
+        << p.collision_ratio << "}" << (i + 1 < points.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ],\n  \"outage_points\": [\n";
+  for (std::size_t i = 0; i < outage_points.size(); ++i) {
+    const auto& p = outage_points[i];
+    out << "    {\"scenario\": \"" << p.label << "\", \"voice_loss\": "
+        << p.voice_loss << ", \"outage_evictions\": " << p.evictions
+        << ", \"voice_dropped_outage\": " << p.voice_dropped_outage
+        << ", \"accounting_ok\": " << (p.accounting_ok ? "true" : "false")
+        << "}" << (i + 1 < outage_points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "(wrote " << path << ")\n";
+  return degradation_ok && accounting_ok ? 0 : 1;
+}

@@ -96,6 +96,15 @@ std::string KeyValueConfig::get_string_or(const std::string& key,
   return v ? *v : fallback;
 }
 
+void KeyValueConfig::reject_unknown(
+    const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : entries_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw std::invalid_argument("KeyValueConfig: unknown key '" + key + "'");
+    }
+  }
+}
+
 bool KeyValueConfig::contains(const std::string& key) const {
   return entries_.count(key) > 0;
 }

@@ -31,6 +31,12 @@ class KeyValueConfig {
   std::string get_string_or(const std::string& key,
                             const std::string& fallback) const;
 
+  /// Throws std::invalid_argument naming the first key (in sorted order)
+  /// that is not in `known`. Front-ends call this after parsing argv so a
+  /// typo ("voice_user=80") fails loudly instead of silently using the
+  /// default.
+  void reject_unknown(const std::vector<std::string>& known) const;
+
   bool contains(const std::string& key) const;
   std::size_t size() const { return entries_.size(); }
   const std::map<std::string, std::string>& entries() const { return entries_; }

@@ -1,0 +1,35 @@
+#include "mac/barring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mac/load_estimator.hpp"
+
+namespace charisma::mac {
+
+BarringController::BarringController(const BarringConfig& cfg) : cfg_(cfg) {
+  if (!cfg.valid()) {
+    throw std::invalid_argument("BarringController: invalid config");
+  }
+}
+
+void BarringController::update(const LoadEstimator& estimator) {
+  const double idx = estimator.overload_index();
+  if (idx > cfg_.target_high) {
+    factor_ *= cfg_.step_down;
+  } else if (idx < cfg_.target_low) {
+    factor_ *= cfg_.step_up;
+  }
+  factor_ = std::clamp(factor_, cfg_.min_factor, 1.0);
+}
+
+double BarringController::voice_factor() const {
+  return std::max(factor_, cfg_.voice_floor);
+}
+
+double BarringController::data_factor() const {
+  return std::max(std::pow(factor_, cfg_.data_exponent), cfg_.min_factor);
+}
+
+}  // namespace charisma::mac

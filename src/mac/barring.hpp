@@ -1,0 +1,80 @@
+// Closed-loop access-class barring (overload survival). The controller
+// turns the LoadEstimator's congestion index into per-class admission
+// factors that every protocol's contention entry point multiplies into its
+// candidate admission: a user barred this frame simply does not contend.
+// The control law is multiplicative-increase / multiplicative-decrease on
+// the smoothed collision ratio — the same family as "Measurement-Adaptive
+// Cellular Random Access Protocols" (PAPERS.md) — with voice barred more
+// gently than data (the paper's voice-priority stance).
+#pragma once
+
+namespace charisma::mac {
+
+class LoadEstimator;
+
+struct BarringConfig {
+  /// Off by default: the disabled path draws no RNG and touches no metrics,
+  /// so every legacy result is preserved bit for bit.
+  bool enabled = false;
+
+  /// Congestion band (LoadEstimator::overload_index). Above `target_high`
+  /// the controller tightens; below `target_low` it relaxes; inside the
+  /// band it holds — the hysteresis that stops limit-cycling.
+  double target_high = 0.40;
+  double target_low = 0.12;
+
+  /// Multiplicative steps: tighten factor *= step_down, relax
+  /// factor *= step_up (clamped to [min_factor, 1]).
+  double step_down = 0.70;
+  double step_up = 1.18;
+
+  /// Floor of the common admission factor (data may sit on it; voice has
+  /// its own, higher floor so a starved cell can still admit talkspurts).
+  double min_factor = 1.0 / 128.0;
+  double voice_floor = 1.0 / 16.0;
+
+  /// Data is barred harder than voice: data factor = factor^exponent.
+  double data_exponent = 2.0;
+
+  /// Control-window length in frames (one LoadEstimator observation and
+  /// one controller step per window).
+  int update_interval_frames = 8;
+
+  /// LoadEstimator smoothing weight for the newest window.
+  double ewma_alpha = 0.35;
+
+  bool valid() const {
+    return target_high > target_low && target_low >= 0.0 &&
+           target_high <= 1.0 && step_down > 0.0 && step_down < 1.0 &&
+           step_up > 1.0 && min_factor > 0.0 && min_factor <= 1.0 &&
+           voice_floor >= min_factor && voice_floor <= 1.0 &&
+           data_exponent >= 1.0 && update_interval_frames > 0 &&
+           ewma_alpha > 0.0 && ewma_alpha <= 1.0;
+  }
+};
+
+class BarringController {
+ public:
+  explicit BarringController(const BarringConfig& cfg);
+
+  /// One control step from the estimator's current congestion index.
+  void update(const LoadEstimator& estimator);
+
+  /// Admission probability applied to voice contention entry, in
+  /// [voice_floor, 1]. 1 means voice is not barred (no RNG draw).
+  double voice_factor() const;
+
+  /// Admission probability applied to data contention entry, in
+  /// [min_factor, 1]. Tracks factor^data_exponent, so data backs off
+  /// first and deepest.
+  double data_factor() const;
+
+  /// The raw common factor (before class floors) — for tests/benches.
+  double raw_factor() const { return factor_; }
+
+ private:
+  BarringConfig cfg_;
+  double factor_ = 1.0;
+};
+
+}  // namespace charisma::mac

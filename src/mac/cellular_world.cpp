@@ -15,6 +15,9 @@ constexpr std::uint64_t kMobilityStream = 0x8000'0000ULL;
 constexpr std::uint64_t kCellSeedStream = 0x9000'0000ULL;
 constexpr double kTimeEps = 1e-9;
 constexpr double kLn10 = 2.302585092994046;
+/// Pilot level of a dark cell: far below any real link budget, so neither
+/// the hysteresis rule nor the initial argmax ever selects it.
+constexpr double kDarkPilotDb = -1.0e9;
 }  // namespace
 
 CellularWorld::CellularWorld(const CellularConfig& config,
@@ -87,11 +90,40 @@ CellularWorld::CellularWorld(const CellularConfig& config,
     interference_scratch_.assign(pilot_db_.size(), 0.0);
     interference_contrib_.assign(pilot_db_.size(), 0.0);
   }
+  if (!config_.outages.empty()) {
+    dark_.assign(static_cast<std::size_t>(config_.num_cells), 0);
+    prev_dark_ = dark_;
+    update_outage_flags(0.0);
+    prev_dark_ = dark_;  // no recovery transition at t = 0
+  }
   // The first pilot snapshot sees zero loads (nobody is attached yet);
   // initialize_attachments then seeds the loads the first epoch uses.
   update_snr_planes();
   initialize_attachments();
   update_cell_loads();
+}
+
+int CellularWorld::attached_count(int c) const {
+  int n = 0;
+  for (const int cell : attached_) n += cell == c ? 1 : 0;
+  return n;
+}
+
+bool CellularWorld::is_dark(int c, common::Time t) const {
+  for (const auto& o : config_.outages) {
+    if (o.cell == c && t >= o.start - kTimeEps && t < o.end - kTimeEps) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CellularWorld::update_outage_flags(common::Time t) {
+  if (dark_.empty()) return;
+  prev_dark_ = dark_;
+  for (int c = 0; c < config_.num_cells; ++c) {
+    dark_[static_cast<std::size_t>(c)] = is_dark(c, t) ? 1 : 0;
+  }
 }
 
 double CellularWorld::mean_snr_at_distance_db(double d_m) const {
@@ -137,6 +169,12 @@ void CellularWorld::update_cell_snr_plane(int c) {
   bank.set_mean_snr_db_all({row, users});
   if (!interf) {
     bank.snr_db_all({row, users});
+    if (cell_dark(c)) {
+      // The bank was fed the true plane (its fading state and draw order
+      // must not depend on the outage schedule); only the *broadcast*
+      // pilot vanishes while the transmitter is dark.
+      std::fill(row, row + users, kDarkPilotDb);
+    }
   }
 }
 
@@ -169,6 +207,9 @@ void CellularWorld::finalize_cell_interference(int c) {
   cell.note_interference_epoch(
       users > 0 ? penalty_sum / static_cast<double>(users) : 0.0);
   cell.channel_bank().snr_db_all({row, users});
+  if (cell_dark(c)) {
+    std::fill(row, row + users, kDarkPilotDb);  // see update_cell_snr_plane
+  }
 }
 
 void CellularWorld::update_snr_planes() {
@@ -196,9 +237,22 @@ void CellularWorld::blend_pilots(double alpha) {
   // (the attachment rule reads one user's row as a span).
   const std::size_t users = attached_.size();
   const std::size_t cells = cells_.size();
+  const bool outages = !dark_.empty();
   for (std::size_t u = 0; u < users; ++u) {
     double* pilots = pilot_db_.data() + u * cells;
     for (std::size_t c = 0; c < cells; ++c) {
+      if (outages) {
+        if (dark_[c]) {
+          pilots[c] = kDarkPilotDb;  // no pilot to filter: hard floor
+          continue;
+        }
+        if (prev_dark_[c]) {
+          // Recovery: restart the filter from the fresh snapshot instead of
+          // decaying away from the sentinel over ~5 tau.
+          pilots[c] = snr_scratch_[c * users + u];
+          continue;
+        }
+      }
       pilots[c] += alpha * (snr_scratch_[c * users + u] - pilots[c]);
     }
   }
@@ -233,6 +287,27 @@ void CellularWorld::update_pilots_and_attachments() {
   const int users = config_.params.total_users();
   for (int u = 0; u < users; ++u) {
     const int from = attached_[static_cast<std::size_t>(u)];
+    if (cell_dark(from)) {
+      // Forced eviction: the serving cell went dark. Hysteresis does not
+      // apply — there is nothing to stick to — so the user takes its
+      // strongest lit pilot. With every cell dark (total blackout, out of
+      // scope for the schedule's single-cell fault model) the user stays
+      // put and rides out the outage on the dead cell.
+      const auto pilots = pilot_row(static_cast<std::size_t>(u));
+      int best = -1;
+      for (int c = 0; c < config_.num_cells; ++c) {
+        if (cell_dark(c)) continue;
+        if (best < 0 ||
+            pilots[static_cast<std::size_t>(c)] >
+                pilots[static_cast<std::size_t>(best)]) {
+          best = c;
+        }
+      }
+      if (best >= 0) {
+        evict(static_cast<common::UserId>(u), from, best);
+      }
+      continue;
+    }
     const int to =
         strongest_with_hysteresis(pilot_row(static_cast<std::size_t>(u)),
                                   from, config_.handoff_hysteresis_db);
@@ -256,6 +331,40 @@ void CellularWorld::handoff(common::UserId user, int from, int to) {
   ++handoffs_;
 }
 
+void CellularWorld::evict(common::UserId user, int from, int to) {
+  // Same state carry as a handoff, but the source books the move as an
+  // outage eviction (in-flight voice -> voice_dropped_outage, not a
+  // hysteresis handoff). The target side still counts handoffs_in, so
+  // world-wide: sum(handoffs_in) == sum(handoffs_out) + sum(evictions).
+  auto& source = *cells_[static_cast<std::size_t>(from)];
+  auto& target = *cells_[static_cast<std::size_t>(to)];
+  target.user(user).adopt_service_state(source.user(user));
+  target.user(user).drop_pending_voice();
+  source.evict_user(user);
+  target.attach_user(user);
+  attached_[static_cast<std::size_t>(user)] = to;
+}
+
+void CellularWorld::apply_traffic_modulation(common::Time t) {
+  if (config_.modulation.kind == traffic::TrafficModulationConfig::Kind::kNone) {
+    return;
+  }
+  const int users = config_.params.total_users();
+  for (int u = 0; u < users; ++u) {
+    const Vec2 pos = mobility_.position(u);
+    const double scale = traffic::rate_scale(config_.modulation, t, pos.x,
+                                             pos.y);
+    auto& mu = cells_[static_cast<std::size_t>(
+                          attached_[static_cast<std::size_t>(u)])]
+                   ->user(static_cast<common::UserId>(u));
+    if (mu.is_voice()) {
+      mu.voice().set_rate_scale(scale);
+    } else {
+      mu.data().set_rate_scale(scale);
+    }
+  }
+}
+
 void CellularWorld::run_window(common::Time duration) {
   common::Time remaining = duration;
   while (remaining > kTimeEps) {
@@ -269,8 +378,12 @@ void CellularWorld::run_window(common::Time duration) {
     // parallel execution perform the identical per-cell arithmetic in the
     // identical order, so metrics are bit-identical at any thread count.
     mobility_.advance_to(now_ + dt);
+    // Outage flags for the epoch [now_, now_ + dt) are frozen here, before
+    // the parallel plane tasks read them.
+    update_outage_flags(now_);
     update_snr_planes();
     update_pilots_and_attachments();
+    apply_traffic_modulation(now_);
     update_cell_loads();
     for_each_cell([this, dt](std::size_t c) { cells_[c]->advance_by(dt); });
     now_ += dt;

@@ -54,8 +54,20 @@
 #include "mac/mobility.hpp"
 #include "mac/scenario.hpp"
 #include "mac/site_layout.hpp"
+#include "traffic/modulation.hpp"
 
 namespace charisma::mac {
+
+/// One scheduled cell outage: the cell is dark during [start, end).
+struct CellOutageWindow {
+  int cell = 0;
+  common::Time start = 0.0;
+  common::Time end = 0.0;
+
+  bool valid(int num_cells) const {
+    return cell >= 0 && cell < num_cells && start >= 0.0 && end > start;
+  }
+};
 
 struct CellularConfig {
   int num_cells = 2;
@@ -109,13 +121,31 @@ struct CellularConfig {
   /// params.channel.shadow_tau as configured.
   double shadow_decorrelation_m = 25.0;
 
+  /// Cell-outage fault schedule. While a cell is dark its pilot reads the
+  /// sentinel floor (nobody attaches), its attached users are force-evicted
+  /// to their strongest lit neighbour — in-flight voice dropped and counted
+  /// as voice_dropped_outage — and on recovery the pilot filter restarts
+  /// from a fresh snapshot so re-attachment is not delayed by a stale
+  /// filtered history. An epoch is dark iff its start time falls inside a
+  /// window. Empty (the default) preserves legacy runs bit for bit.
+  std::vector<CellOutageWindow> outages{};
+
+  /// Spatio-temporal traffic modulation (flash crowds, diurnal tides):
+  /// the coordinator rescales every user's source intensity each epoch
+  /// from its position. kNone (the default) applies nothing.
+  traffic::TrafficModulationConfig modulation{};
+
   bool valid() const {
+    for (const auto& o : outages) {
+      if (!o.valid(num_cells)) return false;
+    }
     return num_cells >= 1 && params.valid() && mobility.valid() &&
            layout.valid() && interference_activity >= 0.0 &&
            interference_activity <= 1.0 && handoff_hysteresis_db >= 0.0 &&
            pilot_filter_tau > 0.0 && decision_interval > 0.0 &&
            path_loss_exponent > 0.0 && reference_distance_m > 0.0 &&
-           min_distance_m > 0.0 && shadow_decorrelation_m >= 0.0;
+           min_distance_m > 0.0 && shadow_decorrelation_m >= 0.0 &&
+           modulation.valid();
   }
 };
 
@@ -170,6 +200,14 @@ class CellularWorld {
   common::Time now() const { return now_; }
   unsigned thread_count() const { return pool_ ? pool_->thread_count() : 1; }
 
+  /// Whether cell `c` is dark in the current epoch (always false without
+  /// an outage schedule).
+  bool cell_dark(int c) const {
+    return !dark_.empty() && dark_[static_cast<std::size_t>(c)] != 0;
+  }
+  /// Number of users currently attached to cell `c`.
+  int attached_count(int c) const;
+
   /// Mean SNR (dB) the path-loss model assigns at distance `d_m` — exposed
   /// for tests and the bench's sanity prints.
   double mean_snr_at_distance_db(double d_m) const;
@@ -198,6 +236,18 @@ class CellularWorld {
   void blend_pilots(double alpha);
   void update_pilots_and_attachments();
   void handoff(common::UserId user, int from, int to);
+  /// True when the outage schedule darkens cell `c` at time `t`.
+  bool is_dark(int c, common::Time t) const;
+  /// Rolls the per-epoch dark flags forward to epoch-start time `t`
+  /// (prev_dark_ keeps the previous epoch's flags for the recovery reset).
+  void update_outage_flags(common::Time t);
+  /// Forced move off a dark cell: like handoff, but counted as an outage
+  /// eviction (voice in flight -> voice_dropped_outage) and exempt from
+  /// hysteresis.
+  void evict(common::UserId user, int from, int to);
+  /// Rescales every user's traffic sources from the modulation config and
+  /// its current position (coordinator step; no-op for kNone).
+  void apply_traffic_modulation(common::Time t);
   /// Runs fn(c) for every cell — on the pool when configured, inline
   /// otherwise.
   void for_each_cell(const std::function<void(std::size_t)>& fn);
@@ -229,6 +279,10 @@ class CellularWorld {
   std::vector<double> cell_load_;
   /// Per-cell co-channel interferer site lists (reuse partition).
   std::vector<std::vector<int>> cochannel_;
+  /// Per-epoch outage flags (empty when no outage schedule): frozen by the
+  /// coordinator before the parallel plane tasks read them.
+  std::vector<char> dark_;
+  std::vector<char> prev_dark_;
   double pilot_alpha_ = 1.0;
   // Path loss in per-site precomputed form: db = C - K/2 * ln(d²) with the
   // reference-distance log10 folded into C, so the per-(user, cell) epoch

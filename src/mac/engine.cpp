@@ -27,6 +27,10 @@ ProtocolEngine::ProtocolEngine(const ScenarioParams& params)
   if (!params.valid()) {
     throw std::invalid_argument("ProtocolEngine: invalid scenario parameters");
   }
+  if (params.barring.enabled) {
+    load_estimator_.emplace(params.barring.ewma_alpha);
+    barring_.emplace(params.barring);
+  }
   // The channel grid step must match the frame cadence so per-frame draws
   // line up with the coherence model.
   params_.channel.sample_interval = geom_.frame_duration;
@@ -96,6 +100,17 @@ void ProtocolEngine::attach_user(common::UserId id) {
   u.set_present(true);
 }
 
+void ProtocolEngine::evict_user(common::UserId id) {
+  auto& u = user(id);
+  if (!u.present()) return;
+  on_user_detached(id);
+  if (u.is_voice()) {
+    metrics_.voice_dropped_outage += u.drop_pending_voice();
+  }
+  ++metrics_.outage_evictions;
+  u.set_present(false);
+}
+
 common::Time ProtocolEngine::frame_tick() {
   advance_world();
   const common::Time duration = process_frame();
@@ -105,7 +120,31 @@ common::Time ProtocolEngine::frame_tick() {
   ++frame_index_;
   ++metrics_.frames;
   metrics_.measured_time += duration;
+  if (barring_ &&
+      ++barr_win_frames_ >= params_.barring.update_interval_frames) {
+    barring_control_step();
+  }
   return duration;  // RMAV/DRMA: data-dependent; static protocols: constant
+}
+
+void ProtocolEngine::barring_control_step() {
+  LoadSignals raw;
+  raw.attached_users =
+      static_cast<double>(barr_win_user_frames_) / barr_win_frames_;
+  raw.collision_ratio =
+      barr_win_minislots_ > 0
+          ? static_cast<double>(barr_win_collisions_) / barr_win_minislots_
+          : 0.0;
+  raw.queue_depth = static_cast<double>(pending_request_count());
+  raw.interference_db = last_interference_db_;
+  load_estimator_->observe(raw);
+  barring_->update(*load_estimator_);
+  metrics_.barring_factor_voice.add(barring_->voice_factor());
+  metrics_.barring_factor_data.add(barring_->data_factor());
+  barr_win_minislots_ = 0;
+  barr_win_collisions_ = 0;
+  barr_win_user_frames_ = 0;
+  barr_win_frames_ = 0;
 }
 
 void ProtocolEngine::advance_world() {
@@ -131,11 +170,24 @@ void ProtocolEngine::advance_world() {
     }
   }
   metrics_.attached_user_frames += present;
+  if (barring_) barr_win_user_frames_ += present;
 }
 
 double ProtocolEngine::permission_prob(const MobileUser& u) const {
   return u.is_voice() ? params_.voice_permission_prob
                       : params_.data_permission_prob;
+}
+
+bool ProtocolEngine::barring_blocks(MobileUser& u) {
+  if (!barring_) return false;
+  const double f =
+      u.is_voice() ? barring_->voice_factor() : barring_->data_factor();
+  if (f >= 1.0) return false;  // open gate: no draw, no count
+  ++metrics_.barring_checks;
+  if (u.rng().bernoulli(f)) return false;
+  ++(u.is_voice() ? metrics_.barring_barred_voice
+                  : metrics_.barring_barred_data);
+  return true;
 }
 
 ContentionOutcome ProtocolEngine::run_contention(
@@ -325,6 +377,10 @@ void ProtocolEngine::note_contention(const ContentionTally& tally) {
   metrics_.request_successes += tally.successes;
   metrics_.request_collisions += tally.collisions;
   metrics_.request_idle += tally.idle;
+  if (barring_) {
+    barr_win_minislots_ += tally.minislots;
+    barr_win_collisions_ += tally.collisions;
+  }
 }
 
 void ProtocolEngine::note_user_delivery(common::UserId id, int packets) {

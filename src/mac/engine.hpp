@@ -15,7 +15,9 @@
 #include "channel/csi.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "mac/barring.hpp"
 #include "mac/contention.hpp"
+#include "mac/load_estimator.hpp"
 #include "mac/metrics.hpp"
 #include "mac/mobile_user.hpp"
 #include "mac/scenario.hpp"
@@ -64,6 +66,12 @@ class ProtocolEngine {
   /// (MobileUser::adopt_service_state). No-op when already attached.
   void attach_user(common::UserId id);
 
+  /// Forced removal because this cell went dark (outage schedule): like
+  /// detach_user, but the move is counted as an outage eviction and the
+  /// in-flight voice as voice_dropped_outage rather than as a hysteresis
+  /// handoff. No-op when already detached.
+  void evict_user(common::UserId id);
+
   /// Records one decision epoch of the world's inter-cell interference
   /// plane for this cell: the mean SINR penalty (dB) across the per-user
   /// plane just fed to the ChannelBank. Called by CellularWorld inside
@@ -71,6 +79,16 @@ class ProtocolEngine {
   /// record a sample.
   void note_interference_epoch(double mean_penalty_db) {
     metrics_.interference_db.add(mean_penalty_db);
+    last_interference_db_ = mean_penalty_db;
+  }
+
+  /// Current access-class admission factors (1.0 when barring is off or
+  /// has not tightened) — bench/test visibility into the closed loop.
+  double barring_voice_factor() const {
+    return barring_ ? barring_->voice_factor() : 1.0;
+  }
+  double barring_data_factor() const {
+    return barring_ ? barring_->data_factor() : 1.0;
   }
 
   const ProtocolMetrics& metrics() const { return metrics_; }
@@ -101,6 +119,11 @@ class ProtocolEngine {
   /// entries, grants, CSI cache). Default: nothing to release.
   virtual void on_user_detached(common::UserId /*id*/) {}
 
+  /// Number of requests the protocol is holding at the base station
+  /// (admitted but unserved) — the LoadEstimator's queue-depth signal.
+  /// Default: no queue.
+  virtual std::int64_t pending_request_count() const { return 0; }
+
   // ---- World helpers ----
 
   /// Advances channels and sources to the current frame boundary and
@@ -109,6 +132,14 @@ class ProtocolEngine {
 
   /// This user's permission probability (paper §2, p_v / p_d).
   double permission_prob(const MobileUser& u) const;
+
+  /// Access-class barring gate at contention entry: true when the user is
+  /// barred from contending this frame. With barring disabled, or the
+  /// user's class factor at 1, returns false without drawing RNG — the
+  /// legacy bit-for-bit path. Protocols call this exactly where a user
+  /// would become a NEW contention candidate (never on users already
+  /// holding a reservation or a queued request).
+  bool barring_blocks(MobileUser& u);
 
   /// Runs a contention phase over `candidates` with the class permission
   /// probabilities scaled by each device's backoff state, records the
@@ -183,7 +214,21 @@ class ProtocolEngine {
   /// the protocol frame, and return the consumed duration as the delay to
   /// the next tick.
   common::Time frame_tick();
+  /// Closes one barring control window: freeze the raw load signals, fold
+  /// them into the estimator, step the controller, sample the factors.
+  void barring_control_step();
   bool started_ = false;
+
+  // Closed-loop barring state (engaged only when params.barring.enabled;
+  // the estimator/controller live inside this cell's engine, so the
+  // parallel world's share-nothing guarantee is untouched).
+  std::optional<LoadEstimator> load_estimator_;
+  std::optional<BarringController> barring_;
+  double last_interference_db_ = 0.0;
+  std::int64_t barr_win_minislots_ = 0;
+  std::int64_t barr_win_collisions_ = 0;
+  std::int64_t barr_win_user_frames_ = 0;
+  int barr_win_frames_ = 0;
 };
 
 }  // namespace charisma::mac

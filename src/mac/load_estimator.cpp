@@ -1,0 +1,43 @@
+#include "mac/load_estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace charisma::mac {
+
+LoadEstimator::LoadEstimator(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("LoadEstimator: alpha must be in (0, 1]");
+  }
+}
+
+void LoadEstimator::observe(const LoadSignals& raw) {
+  if (windows_ == 0) {
+    level_ = raw;  // seed: no zero history to drag through warmup
+  } else {
+    const double a = alpha_;
+    level_.attached_users += a * (raw.attached_users - level_.attached_users);
+    level_.collision_ratio +=
+        a * (raw.collision_ratio - level_.collision_ratio);
+    level_.queue_depth += a * (raw.queue_depth - level_.queue_depth);
+    level_.interference_db +=
+        a * (raw.interference_db - level_.interference_db);
+  }
+  ++windows_;
+}
+
+double LoadEstimator::overload_index() const {
+  // Collision ratio is the primary congestion signal (it is what collapses
+  // first under a flash crowd). A backed-up request queue — more than one
+  // pending request per attached user — means admitted requests are not
+  // being served either, so it inflates the index; this is what lets
+  // queue-centric protocols (RAMA, D-TDMA) report overload even when their
+  // auction absorbs collisions.
+  const double users = std::max(1.0, level_.attached_users);
+  const double queue_pressure =
+      std::min(1.0, level_.queue_depth / users);
+  const double idx = level_.collision_ratio + 0.5 * queue_pressure;
+  return std::clamp(idx, 0.0, 1.0);
+}
+
+}  // namespace charisma::mac

@@ -1,0 +1,48 @@
+// Per-cell load estimation for the overload-survival layer. The estimator
+// smooths the raw congestion signals a cell already produces every control
+// window — attached population, request-phase collision ratio, base-station
+// request-queue depth and the inter-cell interference penalty — into an
+// EWMA state the BarringController can act on. It runs entirely inside the
+// owning cell's engine (share-nothing), so the parallel world stays
+// bit-identical to serial.
+#pragma once
+
+namespace charisma::mac {
+
+/// One control window's worth of raw congestion signals, frozen by the
+/// engine at the window boundary.
+struct LoadSignals {
+  double attached_users = 0.0;    ///< present population (mean over window)
+  double collision_ratio = 0.0;   ///< request collisions / request minislots
+  double queue_depth = 0.0;       ///< pending requests at the base station
+  double interference_db = 0.0;   ///< last epoch's mean SINR penalty (dB)
+};
+
+/// Exponentially-weighted moving average over LoadSignals. alpha in (0, 1]:
+/// the weight of the newest window (1 = no memory). The first observation
+/// seeds the state directly so a fresh estimator does not drag a zero
+/// history through the warmup.
+class LoadEstimator {
+ public:
+  explicit LoadEstimator(double alpha);
+
+  /// Folds one window of raw signals into the smoothed state.
+  void observe(const LoadSignals& raw);
+
+  /// The smoothed signal vector (all zeros until the first observe()).
+  const LoadSignals& level() const { return level_; }
+
+  /// Scalar congestion index in [0, 1]: the smoothed collision ratio,
+  /// inflated when the request queue backs up beyond one pending request
+  /// per attached user. This is the BarringController's input.
+  double overload_index() const;
+
+  long long windows_observed() const { return windows_; }
+
+ private:
+  double alpha_;
+  LoadSignals level_{};
+  long long windows_ = 0;
+};
+
+}  // namespace charisma::mac

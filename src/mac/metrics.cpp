@@ -25,6 +25,13 @@ void ProtocolMetrics::merge(const ProtocolMetrics& other) {
   handoffs_out += other.handoffs_out;
   voice_dropped_handoff += other.voice_dropped_handoff;
   attached_user_frames += other.attached_user_frames;
+  outage_evictions += other.outage_evictions;
+  voice_dropped_outage += other.voice_dropped_outage;
+  barring_checks += other.barring_checks;
+  barring_barred_voice += other.barring_barred_voice;
+  barring_barred_data += other.barring_barred_data;
+  barring_factor_voice.merge(other.barring_factor_voice);
+  barring_factor_data.merge(other.barring_factor_data);
   interference_db.merge(other.interference_db);
   request_slots += other.request_slots;
   request_successes += other.request_successes;
@@ -51,7 +58,7 @@ void ProtocolMetrics::merge(const ProtocolMetrics& other) {
 double ProtocolMetrics::voice_loss_rate() const {
   return safe_div(
       static_cast<double>(voice_dropped_deadline + voice_error_lost +
-                          voice_dropped_handoff),
+                          voice_dropped_handoff + voice_dropped_outage),
       static_cast<double>(voice_generated));
 }
 
@@ -92,6 +99,17 @@ double ProtocolMetrics::slot_waste_ratio() const {
 double ProtocolMetrics::voice_handoff_drop_rate() const {
   return safe_div(static_cast<double>(voice_dropped_handoff),
                   static_cast<double>(voice_generated));
+}
+
+double ProtocolMetrics::voice_outage_drop_rate() const {
+  return safe_div(static_cast<double>(voice_dropped_outage),
+                  static_cast<double>(voice_generated));
+}
+
+double ProtocolMetrics::effective_barring_probability() const {
+  return safe_div(
+      static_cast<double>(barring_barred_voice + barring_barred_data),
+      static_cast<double>(barring_checks));
 }
 
 double ProtocolMetrics::mean_attached_users() const {

@@ -53,6 +53,26 @@ struct ProtocolMetrics {
   /// divide by frames for the mean (mean_attached_users()).
   std::int64_t attached_user_frames = 0;
 
+  // Cell-outage fault injection (CellularWorld outage schedule). Users on
+  // a cell that goes dark are force-evicted to the best lit neighbour;
+  // their in-flight voice is dropped and counted here (part of
+  // voice_loss_rate()). outage_evictions plays the role handoffs_out plays
+  // for hysteresis moves, so across a world
+  // sum(handoffs_in) == sum(handoffs_out) + sum(outage_evictions).
+  std::int64_t outage_evictions = 0;
+  std::int64_t voice_dropped_outage = 0;
+
+  // Access-class barring (closed-loop overload control; BarringController).
+  // A "check" is one contention entry evaluated against a class factor
+  // below 1; with barring disabled (or the factor at 1) nothing is counted
+  // and no RNG is drawn, preserving legacy results bit for bit.
+  std::int64_t barring_checks = 0;
+  std::int64_t barring_barred_voice = 0;
+  std::int64_t barring_barred_data = 0;
+  /// One sample per control window: the class admission factors in force.
+  common::Accumulator barring_factor_voice;
+  common::Accumulator barring_factor_data;
+
   // Inter-cell interference accounting (CellularWorld's uplink SINR
   // plane). One sample per decision epoch: the mean SINR penalty (dB,
   // 10·log10(1 + I/N)) across this cell's per-user interference plane.
@@ -108,7 +128,7 @@ struct ProtocolMetrics {
   // ---- Derived quantities (guard against empty windows) ----
 
   /// Paper Eq. (3): fraction of voice packets not received intact
-  /// (deadline drops + channel errors + handoff drops).
+  /// (deadline drops + channel errors + handoff drops + outage drops).
   double voice_loss_rate() const;
   /// Deadline-drop component only.
   double voice_drop_rate() const;
@@ -116,6 +136,12 @@ struct ProtocolMetrics {
   double voice_error_rate() const;
   /// Handoff-drop component only.
   double voice_handoff_drop_rate() const;
+  /// Outage-eviction component only.
+  double voice_outage_drop_rate() const;
+
+  /// Fraction of barring checks that barred the user (all classes);
+  /// 0 when barring never engaged.
+  double effective_barring_probability() const;
 
   /// Paper §5.2: average data packets successfully received per frame.
   double data_throughput_per_frame() const;

@@ -57,6 +57,8 @@ MobileUser::MobileUser(common::UserId id, ServiceType service,
     cfg.mean_interarrival_s = params.mean_data_interarrival_s;
     cfg.mean_burst_packets = params.mean_burst_packets;
     cfg.frame_duration = params.geometry.frame_duration;
+    cfg.mmpp_rate_ratio = params.data_mmpp_rate_ratio;
+    cfg.mmpp_mean_sojourn_s = params.data_mmpp_mean_sojourn_s;
     data_.emplace(cfg, std::move(source_rng));
   }
 }

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "channel/user_channel.hpp"
+#include "mac/barring.hpp"
 #include "mac/energy.hpp"
 #include "mac/geometry.hpp"
 #include "phy/adaptive_phy.hpp"
@@ -36,6 +37,18 @@ struct ScenarioParams {
   double mean_silence_s = 1.35;
   double mean_data_interarrival_s = 1.0;
   double mean_burst_packets = 100.0;
+
+  // Markov-modulated (two-state) data arrivals beyond the plain Poisson
+  // bursts: in the high state bursts arrive mmpp_rate_ratio times faster;
+  // state sojourns are exponential with the given mean. ratio = 1 or
+  // sojourn = 0 disables modulation (no extra RNG draws; legacy results
+  // stay bit-identical).
+  double data_mmpp_rate_ratio = 1.0;
+  double data_mmpp_mean_sojourn_s = 0.0;
+
+  /// Closed-loop access-class barring (overload survival; off by default —
+  /// the disabled path preserves every legacy result bit for bit).
+  BarringConfig barring{};
 
   // Request contention model (paper §2): permission probabilities.
   double voice_permission_prob = 0.3;
@@ -71,7 +84,9 @@ struct ScenarioParams {
            data_permission_prob > 0.0 && data_permission_prob <= 1.0 &&
            csi_error_sigma_db >= 0.0 && csi_validity_frames > 0 &&
            snr_spread_db >= 0.0 && energy.tx_power_w >= 0.0 &&
-           ack_loss_prob >= 0.0 && ack_loss_prob < 1.0;
+           ack_loss_prob >= 0.0 && ack_loss_prob < 1.0 &&
+           data_mmpp_rate_ratio >= 1.0 && data_mmpp_mean_sojourn_s >= 0.0 &&
+           barring.valid();
   }
 };
 

@@ -106,10 +106,10 @@ common::Time DtdmaProtocol::process_frame() {
     if (queue_.contains(u.id())) continue;
     if (u.is_voice()) {
       if (!grid_.has_reservation(u.id()) && u.voice().in_talkspurt() &&
-          u.voice().has_packet()) {
+          u.voice().has_packet() && !barring_blocks(u)) {
         candidates.push_back(u.id());
       }
-    } else if (u.data().backlog() > 0) {
+    } else if (u.data().backlog() > 0 && !barring_blocks(u)) {
       candidates.push_back(u.id());
     }
   }

@@ -43,6 +43,7 @@ common::Time PrmaProtocol::process_frame() {
                                  u.voice().has_packet())
                               : u.data().backlog() > 0;
       if (!active) continue;
+      if (barring_blocks(u)) continue;
       if (u.rng().bernoulli(permission_prob(u) * u.backoff_scale())) {
         transmitters.push_back(u.id());
       }

@@ -85,11 +85,13 @@ common::Time RamaProtocol::process_frame() {
         [&u](const mac::PendingRequest& r) { return r.user == u.id(); });
     if (queued) continue;
     if (u.is_voice()) {
+      // RAMA has no permission probability, so the barring gate is the
+      // only admission control in front of the auction.
       if (!grid_.has_reservation(u.id()) && u.voice().in_talkspurt() &&
-          u.voice().has_packet()) {
+          u.voice().has_packet() && !barring_blocks(u)) {
         voice_contenders.push_back(u.id());
       }
-    } else if (u.data().backlog() > 0) {
+    } else if (u.data().backlog() > 0 && !barring_blocks(u)) {
       data_contenders.push_back(u.id());
     }
   }

@@ -39,8 +39,10 @@ common::Time RmavProtocol::process_frame() {
   for (auto& u : users()) {
     if (!u.present()) continue;
     if (u.is_voice()) {
-      if (u.voice().has_packet()) candidates.push_back(u.id());
-    } else if (u.data().backlog() > 0) {
+      if (u.voice().has_packet() && !barring_blocks(u)) {
+        candidates.push_back(u.id());
+      }
+    } else if (u.data().backlog() > 0 && !barring_blocks(u)) {
       candidates.push_back(u.id());
     }
   }

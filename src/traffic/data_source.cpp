@@ -15,7 +15,30 @@ DataSource::DataSource(const DataSourceConfig& config, common::RngStream rng)
   if (config.mean_interarrival_s <= 0.0 || config.mean_burst_packets < 1.0) {
     throw std::invalid_argument("DataSource: invalid traffic parameters");
   }
-  next_burst_at_ = rng_.exponential(config_.mean_interarrival_s);
+  if (config.mmpp_rate_ratio < 1.0 || config.mmpp_mean_sojourn_s < 0.0) {
+    throw std::invalid_argument("DataSource: invalid MMPP parameters");
+  }
+  if (config_.mmpp_enabled()) {
+    mmpp_toggle_at_ = rng_.exponential(config_.mmpp_mean_sojourn_s);
+  }
+  next_burst_at_ = next_gap(0.0);
+}
+
+void DataSource::set_rate_scale(double scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("DataSource: rate scale must be positive");
+  }
+  rate_scale_ = scale;
+}
+
+double DataSource::next_gap(common::Time ref) {
+  const double base = config_.mean_interarrival_s / rate_scale_;
+  if (!config_.mmpp_enabled()) return rng_.exponential(base);
+  while (mmpp_toggle_at_ <= ref) {
+    mmpp_high_ = !mmpp_high_;
+    mmpp_toggle_at_ += rng_.exponential(config_.mmpp_mean_sojourn_s);
+  }
+  return rng_.exponential(mmpp_high_ ? base / config_.mmpp_rate_ratio : base);
 }
 
 DataSource::FrameUpdate DataSource::on_frame(common::Time now) {
@@ -27,7 +50,7 @@ DataSource::FrameUpdate DataSource::on_frame(common::Time now) {
     packets_generated_ += burst;
     ++update.bursts_arrived;
     update.packets_arrived += burst;
-    next_burst_at_ += rng_.exponential(config_.mean_interarrival_s);
+    next_burst_at_ += next_gap(next_burst_at_);
   }
   return update;
 }

@@ -20,6 +20,18 @@ struct DataSourceConfig {
   double mean_interarrival_s = 1.0;
   double mean_burst_packets = 100.0;
   common::Time frame_duration = 2.5e-3;
+
+  // Two-state Markov-modulated arrivals (MMPP) beyond the plain Poisson
+  // process: in the high state bursts arrive mmpp_rate_ratio times faster;
+  // the modulating chain toggles with exponential sojourns of the given
+  // mean. ratio = 1 or sojourn = 0 disables the chain entirely (no extra
+  // RNG draws; the Poisson process is reproduced bit for bit).
+  double mmpp_rate_ratio = 1.0;
+  double mmpp_mean_sojourn_s = 0.0;
+
+  bool mmpp_enabled() const {
+    return mmpp_rate_ratio > 1.0 && mmpp_mean_sojourn_s > 0.0;
+  }
 };
 
 class DataSource {
@@ -52,9 +64,26 @@ class DataSource {
   std::int64_t packets_generated() const { return packets_generated_; }
   const DataSourceConfig& config() const { return config_; }
 
+  /// Scenario-level burst intensity scaling (flash crowds, diurnal tides):
+  /// interarrival means shrink by the factor from the next draw on.
+  /// scale = 1 (the default) reproduces the legacy draws bit for bit.
+  void set_rate_scale(double scale);
+  double rate_scale() const { return rate_scale_; }
+
+  /// Current MMPP modulating state (always false when disabled) — test
+  /// visibility.
+  bool mmpp_high() const { return mmpp_high_; }
+
  private:
+  /// Draws the gap to the burst after `ref`, first advancing the MMPP
+  /// modulating chain to `ref` so the gap uses the state in force there.
+  double next_gap(common::Time ref);
+
   DataSourceConfig config_;
   common::RngStream rng_;
+  double rate_scale_ = 1.0;
+  bool mmpp_high_ = false;
+  common::Time mmpp_toggle_at_ = 0.0;
   std::deque<common::Time> queue_;  ///< per-packet arrival time
   common::Time next_burst_at_;
   std::int64_t packets_generated_ = 0;

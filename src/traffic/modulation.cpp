@@ -1,0 +1,31 @@
+#include "traffic/modulation.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace charisma::traffic {
+
+double rate_scale(const TrafficModulationConfig& cfg, common::Time t,
+                  double x, double y) {
+  switch (cfg.kind) {
+    case TrafficModulationConfig::Kind::kNone:
+      return 1.0;
+    case TrafficModulationConfig::Kind::kFlashCrowd: {
+      if (t < cfg.start || t >= cfg.end) return 1.0;
+      const double dx = x - cfg.epicenter_x_m;
+      const double dy = y - cfg.epicenter_y_m;
+      return dx * dx + dy * dy <= cfg.radius_m * cfg.radius_m
+                 ? cfg.rate_multiplier
+                 : 1.0;
+    }
+    case TrafficModulationConfig::Kind::kDiurnal: {
+      const double phase =
+          2.0 * std::numbers::pi * t / cfg.period_s +
+          std::numbers::pi * x / cfg.wavelength_m;
+      return 1.0 + cfg.amplitude * std::sin(phase);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace charisma::traffic

@@ -33,8 +33,15 @@ void VoiceSource::ensure_initialized(common::Time now) {
   // factor with time constant tt*ts/(tt+ts) ~ 0.57 s, well inside the
   // simulation warmup.
   talkspurt_ = false;
-  state_until_ = now + rng_.exponential(config_.mean_silence_s);
+  state_until_ = now + rng_.exponential(config_.mean_silence_s / rate_scale_);
   next_packet_at_ = kInf;
+}
+
+void VoiceSource::set_rate_scale(double scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("VoiceSource: rate scale must be positive");
+  }
+  rate_scale_ = scale;
 }
 
 VoiceSource::FrameUpdate VoiceSource::on_frame(common::Time now) {
@@ -60,8 +67,9 @@ VoiceSource::FrameUpdate VoiceSource::on_frame(common::Time now) {
     if (toggle_t <= packet_t) {
       talkspurt_ = !talkspurt_;
       state_until_ =
-          toggle_t + rng_.exponential(talkspurt_ ? config_.mean_talkspurt_s
-                                                 : config_.mean_silence_s);
+          toggle_t +
+          rng_.exponential(talkspurt_ ? config_.mean_talkspurt_s
+                                      : config_.mean_silence_s / rate_scale_);
       if (talkspurt_) {
         update.talkspurt_started = true;
         next_packet_at_ = toggle_t;

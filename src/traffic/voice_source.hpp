@@ -67,11 +67,20 @@ class VoiceSource {
   std::int64_t packets_generated() const { return packets_generated_; }
   const VoiceSourceConfig& config() const { return config_; }
 
+  /// Scenario-level call intensity scaling (flash crowds, diurnal tides):
+  /// silences shrink by the factor, so calls arrive `scale` times as often
+  /// while talkspurt lengths stay the paper's. scale = 1 (the default) is
+  /// the exact legacy process — the divided mean is bit-identical — and the
+  /// factor applies from the next silence draw, not retroactively.
+  void set_rate_scale(double scale);
+  double rate_scale() const { return rate_scale_; }
+
  private:
   void ensure_initialized(common::Time now);
 
   VoiceSourceConfig config_;
   common::RngStream rng_;
+  double rate_scale_ = 1.0;
   bool talkspurt_ = false;
   common::Time state_until_ = 0.0;     ///< absolute toggle time
   common::Time next_packet_at_ = 0.0;  ///< next emission while talking

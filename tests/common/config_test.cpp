@@ -63,6 +63,28 @@ TEST(Config, TypeErrorsThrow) {
   EXPECT_THROW(cfg.get_int("y"), std::invalid_argument);
 }
 
+TEST(Config, RejectUnknownPassesKnownKeys) {
+  auto cfg = KeyValueConfig::from_args({"alpha=1", "beta=2"});
+  EXPECT_NO_THROW(cfg.reject_unknown({"alpha", "beta", "gamma"}));
+}
+
+TEST(Config, RejectUnknownNamesTheOffendingKey) {
+  auto cfg = KeyValueConfig::from_args({"alpha=1", "voice_user=80"});
+  try {
+    cfg.reject_unknown({"alpha", "voice_users"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message must point at the typo, not just say "bad config".
+    EXPECT_NE(std::string(e.what()).find("voice_user"), std::string::npos);
+  }
+}
+
+TEST(Config, RejectUnknownOnEmptyConfigIsNoop) {
+  KeyValueConfig cfg;
+  EXPECT_NO_THROW(cfg.reject_unknown({}));
+  EXPECT_NO_THROW(cfg.reject_unknown({"anything"}));
+}
+
 TEST(Config, Contains) {
   KeyValueConfig cfg;
   cfg.set("k", "v");

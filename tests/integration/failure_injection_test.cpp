@@ -5,6 +5,7 @@
 
 #include "../support/scenarios.hpp"
 #include "core/charisma.hpp"
+#include "mac/cellular_world.hpp"
 #include "protocols/factory.hpp"
 
 namespace charisma {
@@ -123,6 +124,97 @@ TEST(FailureInjection, SingleUserEveryProtocol) {
     EXPECT_LT(m.voice_loss_rate(), 0.05)
         << protocols::protocol_name(id);
   }
+}
+
+// ---------------------------------------------------------------- world
+// PR 6: fault injection at the world level. A cell going dark mid-run must
+// evict its users (dropping their in-flight voice into the books), hand
+// them to live neighbours, and take them back after recovery — without
+// crashing, losing accounting, or depending on the worker thread count.
+
+mac::CellularConfig outage_world_config(std::uint64_t seed = 7) {
+  mac::CellularConfig cfg;
+  cfg.num_cells = 3;
+  cfg.num_threads = 1;
+  cfg.params.num_voice_users = 12;
+  cfg.params.num_data_users = 4;
+  cfg.params.seed = seed;
+  cfg.params.channel.shadow_sigma_db = 6.0;
+  cfg.mobility.field_width_m = 1500.0;
+  cfg.mobility.field_height_m = 300.0;
+  cfg.mobility.speed_mps = common::km_per_hour(50.0);
+  cfg.handoff_hysteresis_db = 2.0;
+  return cfg;
+}
+
+mac::EngineFactory charisma_factory() {
+  return [](const mac::ScenarioParams& p) {
+    return protocols::make_protocol(ProtocolId::kCharisma, p);
+  };
+}
+
+TEST(WorldFailureInjection, MidRunOutageEvictsAndRecovers) {
+  auto cfg = outage_world_config();
+  cfg.outages.push_back({1, 0.5, 1.0});
+  mac::CellularWorld world(cfg, charisma_factory());
+  world.run(0.0, 2.0);
+  const auto m = world.aggregate_metrics();
+
+  // The fault fired and the books balance: every attachment change is a
+  // handoff out of a live cell or an eviction out of the dark one.
+  EXPECT_GT(m.outage_evictions, 0);
+  EXPECT_EQ(m.handoffs_in, m.handoffs_out + m.outage_evictions);
+  EXPECT_EQ(world.cell_dark(1), false);  // the window closed
+
+  // Recovery is real: the dark cell serves users again afterwards.
+  int total_attached = 0;
+  for (int c = 0; c < 3; ++c) total_attached += world.attached_count(c);
+  EXPECT_EQ(total_attached, cfg.params.total_users());
+  EXPECT_GT(world.attached_count(1), 0);
+}
+
+TEST(WorldFailureInjection, OutageDeterministicAcrossThreadCounts) {
+  auto make = [](unsigned threads) {
+    auto cfg = outage_world_config(/*seed=*/13);
+    cfg.num_threads = threads;
+    cfg.outages.push_back({0, 0.4, 0.9});
+    cfg.outages.push_back({2, 1.1, 1.5});
+    mac::CellularWorld world(cfg, charisma_factory());
+    world.run(0.2, 1.8);
+    return world.aggregate_metrics();
+  };
+  const auto serial = make(1);
+  ASSERT_GT(serial.outage_evictions, 0);
+  for (unsigned threads : {2u, 3u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    const auto parallel = make(threads);
+    EXPECT_TRUE(serial == parallel);
+  }
+}
+
+TEST(WorldFailureInjection, AllCellsDarkDoesNotCrash) {
+  // Total blackout: nowhere to evict to, so users stay put (dark-attached)
+  // and service resumes when the lights come back.
+  auto cfg = outage_world_config(/*seed=*/5);
+  for (int c = 0; c < 3; ++c) cfg.outages.push_back({c, 0.4, 0.8});
+  mac::CellularWorld world(cfg, charisma_factory());
+  world.run(0.0, 1.5);
+  const auto m = world.aggregate_metrics();
+  EXPECT_EQ(m.handoffs_in, m.handoffs_out + m.outage_evictions);
+  int total_attached = 0;
+  for (int c = 0; c < 3; ++c) total_attached += world.attached_count(c);
+  EXPECT_EQ(total_attached, cfg.params.total_users());
+}
+
+TEST(WorldFailureInjection, InvalidOutageWindowsRejected) {
+  auto cfg = outage_world_config();
+  cfg.outages.push_back({5, 0.5, 1.0});  // no such cell
+  EXPECT_THROW(mac::CellularWorld(cfg, charisma_factory()),
+               std::invalid_argument);
+  cfg = outage_world_config();
+  cfg.outages.push_back({1, 1.0, 0.5});  // end before start
+  EXPECT_THROW(mac::CellularWorld(cfg, charisma_factory()),
+               std::invalid_argument);
 }
 
 TEST(FailureInjection, HugeBurstsDoNotOverflow) {

@@ -77,6 +77,111 @@ TEST(Metrics, JainIndexDegenerateCases) {
   EXPECT_DOUBLE_EQ(m.jain_fairness_index(0, 99), 1.0); // out of range
 }
 
+// Fills every additive field with a distinct value so a merge() that
+// forgets a field (old or newly added) shows up as a mismatch.
+ProtocolMetrics populated(int base) {
+  ProtocolMetrics m;
+  m.frames = base + 1;
+  m.measured_time = base + 0.5;
+  m.voice_generated = base + 2;
+  m.voice_delivered = base + 3;
+  m.voice_dropped_deadline = base + 4;
+  m.voice_error_lost = base + 5;
+  m.voice_dropped_handoff = base + 6;
+  m.data_generated = base + 7;
+  m.data_delivered = base + 8;
+  m.data_tx_attempts = base + 9;
+  m.data_retransmissions = base + 10;
+  m.data_delay_s.add(base * 0.01 + 0.1);
+  m.handoffs_in = base + 11;
+  m.handoffs_out = base + 12;
+  m.attached_user_frames = base + 13;
+  m.interference_db.add(base * 0.1 + 1.0);
+  m.request_slots = base + 14;
+  m.request_successes = base + 15;
+  m.request_collisions = base + 16;
+  m.request_idle = base + 17;
+  m.info_slots_offered = base + 18;
+  m.info_slots_assigned = base + 19;
+  m.info_slots_wasted = base + 20;
+  m.csi_polls = base + 21;
+  m.csi_stale_allocations = base + 22;
+  m.acks_lost = base + 23;
+  m.energy_request_j = base + 0.25;
+  m.energy_info_j = base + 0.5;
+  m.energy_pilot_j = base + 0.75;
+  m.energy_wasted_j = base + 0.125;
+  m.outage_evictions = base + 24;
+  m.voice_dropped_outage = base + 25;
+  m.barring_checks = base + 26;
+  m.barring_barred_voice = base + 27;
+  m.barring_barred_data = base + 28;
+  m.barring_factor_voice.add(base * 0.01 + 0.5);
+  m.barring_factor_data.add(base * 0.01 + 0.25);
+  m.per_user_delivered = {base + 1, base + 2};
+  return m;
+}
+
+TEST(Metrics, MergeWithDefaultIsIdentity) {
+  // merge(default-constructed) must leave every field — including the PR 6
+  // outage/barring counters — bit-identical; this is what makes an idle
+  // cell's contribution to the world aggregate a no-op.
+  const auto reference = populated(10);
+  auto merged = populated(10);
+  merged.merge(ProtocolMetrics{});
+  EXPECT_TRUE(merged == reference);
+
+  ProtocolMetrics from_empty;
+  from_empty.merge(reference);
+  EXPECT_EQ(from_empty.outage_evictions, reference.outage_evictions);
+  EXPECT_EQ(from_empty.voice_dropped_outage, reference.voice_dropped_outage);
+  EXPECT_EQ(from_empty.barring_checks, reference.barring_checks);
+  EXPECT_EQ(from_empty.barring_barred_voice, reference.barring_barred_voice);
+  EXPECT_EQ(from_empty.barring_barred_data, reference.barring_barred_data);
+  EXPECT_EQ(from_empty.barring_factor_voice.count(),
+            reference.barring_factor_voice.count());
+  EXPECT_EQ(from_empty.barring_factor_data.count(),
+            reference.barring_factor_data.count());
+}
+
+TEST(Metrics, MergeIsOrderInsensitive) {
+  // a.merge(b) and b.merge(a) must agree on every additive field: the
+  // world aggregates cells in index order, but nothing may depend on it.
+  auto ab = populated(0);
+  ab.merge(populated(100));
+  auto ba = populated(100);
+  ba.merge(populated(0));
+  EXPECT_EQ(ab.voice_generated, ba.voice_generated);
+  EXPECT_EQ(ab.outage_evictions, ba.outage_evictions);
+  EXPECT_EQ(ab.voice_dropped_outage, ba.voice_dropped_outage);
+  EXPECT_EQ(ab.barring_checks, ba.barring_checks);
+  EXPECT_EQ(ab.barring_barred_voice, ba.barring_barred_voice);
+  EXPECT_EQ(ab.barring_barred_data, ba.barring_barred_data);
+  EXPECT_EQ(ab.barring_factor_voice.count(), ba.barring_factor_voice.count());
+  EXPECT_DOUBLE_EQ(ab.barring_factor_voice.mean(),
+                   ba.barring_factor_voice.mean());
+  EXPECT_DOUBLE_EQ(ab.energy_info_j, ba.energy_info_j);
+  EXPECT_EQ(ab.data_delay_s.count(), ba.data_delay_s.count());
+}
+
+TEST(Metrics, OutageLossAndBarringDerived) {
+  ProtocolMetrics m;
+  m.voice_generated = 1000;
+  m.voice_delivered = 950;
+  m.voice_dropped_deadline = 20;
+  m.voice_error_lost = 10;
+  m.voice_dropped_outage = 20;
+  // Outage drops count against the caller just like deadline drops.
+  EXPECT_DOUBLE_EQ(m.voice_loss_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(m.voice_outage_drop_rate(), 0.02);
+
+  EXPECT_DOUBLE_EQ(m.effective_barring_probability(), 0.0);  // zero-safe
+  m.barring_checks = 200;
+  m.barring_barred_voice = 30;
+  m.barring_barred_data = 20;
+  EXPECT_DOUBLE_EQ(m.effective_barring_probability(), 0.25);
+}
+
 TEST(Metrics, ResetClearsEverything) {
   ProtocolMetrics m;
   m.frames = 10;

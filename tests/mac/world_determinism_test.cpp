@@ -76,6 +76,15 @@ void expect_identical(const ProtocolMetrics& a, const ProtocolMetrics& b) {
   EXPECT_EQ(a.handoffs_in, b.handoffs_in);
   EXPECT_EQ(a.handoffs_out, b.handoffs_out);
   EXPECT_EQ(a.attached_user_frames, b.attached_user_frames);
+  EXPECT_EQ(a.outage_evictions, b.outage_evictions);
+  EXPECT_EQ(a.voice_dropped_outage, b.voice_dropped_outage);
+  EXPECT_EQ(a.barring_checks, b.barring_checks);
+  EXPECT_EQ(a.barring_barred_voice, b.barring_barred_voice);
+  EXPECT_EQ(a.barring_barred_data, b.barring_barred_data);
+  EXPECT_EQ(a.barring_factor_voice.count(), b.barring_factor_voice.count());
+  EXPECT_EQ(a.barring_factor_voice.mean(), b.barring_factor_voice.mean());
+  EXPECT_EQ(a.barring_factor_data.count(), b.barring_factor_data.count());
+  EXPECT_EQ(a.barring_factor_data.mean(), b.barring_factor_data.mean());
   EXPECT_EQ(a.interference_db.count(), b.interference_db.count());
   EXPECT_EQ(a.interference_db.mean(), b.interference_db.mean());  // exact
   EXPECT_EQ(a.request_slots, b.request_slots);
@@ -198,6 +207,42 @@ TEST(WorldDeterminismExtra, FourCellsThreadCountSweep) {
   for (unsigned threads : {2u, 3u, 8u}) {
     SCOPED_TRACE("threads " + std::to_string(threads));
     expect_identical(serial, make(threads));
+  }
+}
+
+TEST(WorldDeterminismExtra, BarringOutageAndFlashCrowdBitIdentical) {
+  // The PR 6 robustness layer all at once: closed-loop barring in every
+  // engine, a mid-run cell outage (eviction + forced re-attach + filter
+  // restart on recovery), and a flash-crowd traffic spike. All of it runs
+  // inside per-cell engines or between the pool's barriers, so the
+  // thread-count-invariance guarantee must survive unchanged.
+  auto make = [](unsigned threads) {
+    auto cfg = world_config(/*cells=*/3, threads, /*seed=*/17);
+    cfg.params.barring.enabled = true;
+    cfg.params.data_mmpp_rate_ratio = 4.0;
+    cfg.params.data_mmpp_mean_sojourn_s = 0.5;
+    cfg.outages.push_back({1, 0.8, 1.4});
+    cfg.modulation.kind = traffic::TrafficModulationConfig::Kind::kFlashCrowd;
+    cfg.modulation.epicenter_x_m = 750.0;
+    cfg.modulation.epicenter_y_m = 150.0;
+    cfg.modulation.radius_m = 400.0;
+    cfg.modulation.rate_multiplier = 5.0;
+    cfg.modulation.start = 0.5;
+    cfg.modulation.end = 1.8;
+    return cfg;
+  };
+  CellularWorld serial(make(1), factory_for(protocols::ProtocolId::kCharisma));
+  serial.run(0.4, 1.6);
+  const auto reference = serial.aggregate_metrics();
+  ASSERT_GT(reference.voice_generated, 0);
+  // The fault actually fired: someone was evicted from the dark cell.
+  ASSERT_GT(reference.outage_evictions, 0);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    CellularWorld parallel(make(threads),
+                           factory_for(protocols::ProtocolId::kCharisma));
+    parallel.run(0.4, 1.6);
+    expect_worlds_identical(serial, parallel);
   }
 }
 

@@ -15,6 +15,7 @@
 // strongest-pilot-with-hysteresis policy hands them off between per-cell
 // protocol engines.
 #include <algorithm>
+#include <cmath>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -76,6 +77,26 @@ Geometry:
 
 Traffic:
   talkspurt_s=F silence_s=F burst_packets=F interarrival_s=F pv=F pd=F
+  overload=F           multiplies both populations (flash-crowd style
+                       offered load: overload=5 is 5x nominal; default 1)
+  mmpp_ratio=F mmpp_sojourn_s=F
+                       Markov-modulated data arrivals: the burst process
+                       alternates between a nominal and a ratio-times-
+                       hotter state with exponential sojourns (ratio >= 1;
+                       sojourn 0 disables; defaults 1 / 0)
+
+Overload survival (robustness scenarios):
+  barring=0|1          closed-loop access-class barring in every engine:
+                       a per-cell load estimator tightens/relaxes the
+                       contention admission probability (default 0; the
+                       legacy results are bit-identical with barring=0)
+  outage=C:S:E[,...]   cell C is dark (no pilot, users evicted) from S to
+                       E seconds, repeatable; needs cells >= 2
+  flash=X:Y:R:M:S:E    flash crowd: users within R metres of (X, Y) offer
+                       M-times traffic during [S, E); needs cells >= 2
+  diurnal=A:P[:W]      sinusoidal load tide: amplitude A, period P
+                       seconds, spatial wavelength W metres (default
+                       2000); needs cells >= 2
 
 CHARISMA options:
   fairness=0|1 csi_refresh=0|1 poll_budget=N
@@ -95,6 +116,40 @@ std::vector<int> parse_int_list(const std::string& csv) {
   }
   return values;
 }
+
+// Splits "a:b:c" into doubles; throws naming the knob on malformed input.
+std::vector<double> parse_colon_list(const std::string& key,
+                                     const std::string& value) {
+  std::vector<double> fields;
+  std::stringstream stream(value);
+  std::string token;
+  while (std::getline(stream, token, ':')) {
+    try {
+      std::size_t pos = 0;
+      fields.push_back(std::stod(token, &pos));
+      if (pos != token.size()) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      throw std::invalid_argument(key + "=: bad field '" + token + "' in '" +
+                                  value + "'");
+    }
+  }
+  return fields;
+}
+
+// Every key charisma_sim understands; anything else is rejected up front
+// so typos fail loudly instead of silently taking the default.
+const std::vector<std::string> kKnownKeys = {
+    "help", "protocol", "voice_users", "data_users", "queue", "seed",
+    "warmup", "measure", "replications", "sweep", "x", "mean_snr_db",
+    "shadow_sigma_db", "doppler_hz", "kmh", "diversity", "fixed_ref_db",
+    "target_ber", "csi_noise_db", "csi_validity_frames", "ack_loss",
+    "tx_power_w", "cells", "threads", "handoff_hysteresis_db", "mobility",
+    "cell_radius_m", "layout", "reuse", "wrap", "interference", "verify",
+    "request_slots", "info_slots", "pilot_slots", "talkspurt_s", "silence_s",
+    "burst_packets", "interarrival_s", "pv", "pd", "overload", "mmpp_ratio",
+    "mmpp_sojourn_s", "barring", "outage", "flash", "diurnal", "fairness",
+    "csi_refresh", "poll_budget", "alpha_voice", "alpha_data", "gamma_voice",
+    "gamma_data", "voice_offset", "csv"};
 
 mac::ScenarioParams scenario_from(const common::KeyValueConfig& config) {
   mac::ScenarioParams params;
@@ -147,6 +202,21 @@ mac::ScenarioParams scenario_from(const common::KeyValueConfig& config) {
       config.get_double_or("pv", params.voice_permission_prob);
   params.data_permission_prob =
       config.get_double_or("pd", params.data_permission_prob);
+
+  const double overload = config.get_double_or("overload", 1.0);
+  if (overload <= 0.0) {
+    throw std::invalid_argument("overload= must be > 0");
+  }
+  params.num_voice_users = static_cast<int>(
+      std::lround(params.num_voice_users * overload));
+  params.num_data_users = static_cast<int>(
+      std::lround(params.num_data_users * overload));
+
+  params.data_mmpp_rate_ratio =
+      config.get_double_or("mmpp_ratio", params.data_mmpp_rate_ratio);
+  params.data_mmpp_mean_sojourn_s =
+      config.get_double_or("mmpp_sojourn_s", params.data_mmpp_mean_sojourn_s);
+  params.barring.enabled = config.get_bool_or("barring", false);
   return params;
 }
 
@@ -218,6 +288,59 @@ mac::CellularConfig cellular_from(const common::KeyValueConfig& config,
   // keeps its historical interference-free behaviour unless asked.
   world.interference_activity =
       config.get_double_or("interference", hex ? 0.4 : 0.0);
+
+  if (auto spec = config.get_string("outage")) {
+    std::stringstream stream(*spec);
+    std::string window;
+    while (std::getline(stream, window, ',')) {
+      const auto f = parse_colon_list("outage", window);
+      if (f.size() != 3) {
+        throw std::invalid_argument(
+            "outage= expects cell:start:end windows, got '" + window + "'");
+      }
+      mac::CellOutageWindow w;
+      w.cell = static_cast<int>(f[0]);
+      w.start = f[1];
+      w.end = f[2];
+      if (!w.valid(world.num_cells)) {
+        throw std::invalid_argument("outage= window '" + window +
+                                    "' is invalid for cells=" +
+                                    std::to_string(world.num_cells));
+      }
+      world.outages.push_back(w);
+    }
+  }
+  if (config.contains("flash") && config.contains("diurnal")) {
+    throw std::invalid_argument("flash= and diurnal= are mutually exclusive");
+  }
+  if (auto spec = config.get_string("flash")) {
+    const auto f = parse_colon_list("flash", *spec);
+    if (f.size() != 6) {
+      throw std::invalid_argument(
+          "flash= expects x:y:radius:multiplier:start:end");
+    }
+    world.modulation.kind = traffic::TrafficModulationConfig::Kind::kFlashCrowd;
+    world.modulation.epicenter_x_m = f[0];
+    world.modulation.epicenter_y_m = f[1];
+    world.modulation.radius_m = f[2];
+    world.modulation.rate_multiplier = f[3];
+    world.modulation.start = f[4];
+    world.modulation.end = f[5];
+  }
+  if (auto spec = config.get_string("diurnal")) {
+    const auto f = parse_colon_list("diurnal", *spec);
+    if (f.size() != 2 && f.size() != 3) {
+      throw std::invalid_argument(
+          "diurnal= expects amplitude:period_s[:wavelength_m]");
+    }
+    world.modulation.kind = traffic::TrafficModulationConfig::Kind::kDiurnal;
+    world.modulation.amplitude = f[0];
+    world.modulation.period_s = f[1];
+    if (f.size() == 3) world.modulation.wavelength_m = f[2];
+  }
+  if (!world.modulation.valid()) {
+    throw std::invalid_argument("flash=/diurnal= parameters are out of range");
+  }
 
   const double radius = config.get_double_or("cell_radius_m", 500.0);
   if (hex) {
@@ -323,6 +446,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    config.reject_unknown(kKnownKeys);
     experiment::RunSpec spec;
     spec.params = scenario_from(config);
     spec.warmup_s = config.get_double_or("warmup", 4.0);
@@ -330,6 +454,16 @@ int main(int argc, char** argv) {
     spec.replications = config.get_int_or("replications", 1);
     spec.charisma = charisma_options_from(config);
     const auto protocol_list = protocols_from(config);
+
+    if (config.get_int_or("cells", 1) < 2) {
+      for (const char* knob : {"outage", "flash", "diurnal"}) {
+        if (config.contains(knob)) {
+          std::cerr << "error: " << knob
+                    << "= is a world-level scenario and needs cells >= 2\n";
+          return 1;
+        }
+      }
+    }
 
     if (config.get_int_or("cells", 1) >= 2) {
       if (config.contains("sweep")) {
