@@ -9,10 +9,14 @@
 #pragma once
 
 #include <complex>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -116,6 +120,81 @@ inline void print_banner(const std::string& what, const std::string& paper) {
             << what << "\n"
             << "Paper reference: " << paper << "\n"
             << "================================================================\n";
+}
+
+/// Appends one measurement to `<dir>/<stem>.json` (dir from
+/// CHARISMA_BENCH_JSON_DIR, else the working directory). The file is a
+/// schema_version-2 *trajectory*: `{"benchmark": ..., "schema_version": 2,
+/// "trajectory": [ <point>, ... ]}` — each bench run appends a point
+/// (stamped with UTC time and the short git revision) instead of
+/// overwriting, so the committed file records how the numbers moved across
+/// revisions. `fields` is the caller's preformatted `"key": value` list,
+/// comma-joined, without braces (multi-line entries should indent
+/// continuation lines by six spaces to match the point layout). A missing
+/// file or an old schema-1 single-object file starts a fresh trajectory.
+inline void append_trajectory_point(const std::string& benchmark,
+                                    const std::string& stem,
+                                    const std::string& fields) {
+  const char* dir = std::getenv("CHARISMA_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) + stem +
+      ".json";
+
+  char timestamp[32] = "unknown";
+  {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(timestamp, sizeof timestamp, "%Y-%m-%dT%H:%M:%SZ",
+                    &tm_utc);
+    }
+  }
+
+  std::string git_rev = "unknown";
+  if (std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+      git_rev.assign(buf);
+      while (!git_rev.empty() &&
+             (git_rev.back() == '\n' || git_rev.back() == '\r')) {
+        git_rev.pop_back();
+      }
+      if (git_rev.empty()) git_rev = "unknown";
+    }
+    pclose(pipe);
+  }
+
+  const std::string point = "    {\n      \"timestamp\": \"" +
+                            std::string(timestamp) +
+                            "\",\n      \"git_rev\": \"" + git_rev +
+                            "\",\n      " + fields + "\n    }";
+
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "could not write " << path << '\n';
+    return;
+  }
+  const auto tail = existing.rfind("\n  ]");
+  if (existing.find("\"schema_version\": 2") != std::string::npos &&
+      tail != std::string::npos) {
+    out << existing.substr(0, tail) << ",\n"
+        << point << existing.substr(tail);
+  } else {
+    out << "{\n  \"benchmark\": \"" << benchmark << "\",\n"
+        << "  \"schema_version\": 2,\n  \"trajectory\": [\n"
+        << point << "\n  ]\n}\n";
+  }
+  std::cout << "(appended trajectory point to " << path << ")\n";
 }
 
 /// When CHARISMA_BENCH_CSV_DIR is set, also writes the table as

@@ -194,37 +194,27 @@ int main() {
     std::cout << '\n';
   }
 
-  const char* dir = std::getenv("CHARISMA_BENCH_JSON_DIR");
-  const std::string path =
-      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-      "BENCH_world.json";
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "could not write " << path << '\n';
-    return all_deterministic ? 0 : 1;
-  }
-  out << "{\n"
-      << "  \"benchmark\": \"world_epoch_loop\",\n"
-      << "  \"schema_version\": 1,\n"
-      << "  \"protocol\": \"" << protocols::protocol_name(protocol) << "\",\n"
-      << "  \"voice_users\": " << voice << ",\n"
-      << "  \"data_users\": " << data << ",\n"
-      << "  \"measure_s\": " << measure_s << ",\n"
-      << "  \"hardware_concurrency\": " << hardware << ",\n"
-      << "  \"all_thread_counts_bit_identical_to_serial\": "
-      << (all_deterministic ? "true" : "false") << ",\n"
-      << "  \"best_speedup_cells4plus_threads4plus\": " << best_speedup
-      << ",\n"
-      << "  \"points\": [\n";
+  std::ostringstream fields;
+  fields << "\"protocol\": \"" << protocols::protocol_name(protocol)
+         << "\",\n      \"voice_users\": " << voice
+         << ",\n      \"data_users\": " << data
+         << ",\n      \"measure_s\": " << measure_s
+         << ",\n      \"hardware_concurrency\": " << hardware
+         << ",\n      \"all_thread_counts_bit_identical_to_serial\": "
+         << (all_deterministic ? "true" : "false")
+         << ",\n      \"best_speedup_cells4plus_threads4plus\": "
+         << best_speedup << ",\n      \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
-    out << "    {\"cells\": " << p.cells << ", \"threads\": " << p.threads
-        << ", \"wall_s\": " << p.wall_s << ", \"speedup_vs_serial\": "
-        << p.speedup << ", \"bit_identical_to_serial\": "
-        << (p.deterministic ? "true" : "false") << "}"
-        << (i + 1 < points.size() ? "," : "") << "\n";
+    fields << "        {\"cells\": " << p.cells << ", \"threads\": "
+           << p.threads << ", \"wall_s\": " << p.wall_s
+           << ", \"speedup_vs_serial\": " << p.speedup
+           << ", \"bit_identical_to_serial\": "
+           << (p.deterministic ? "true" : "false") << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
-  std::cout << "(wrote " << path << ")\n";
+  fields << "      ]";
+  bench::append_trajectory_point("world_epoch_loop", "BENCH_world",
+                                 fields.str());
   return all_deterministic ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 // contention resolution, and one full protocol frame for each protocol.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <vector>
@@ -134,6 +136,35 @@ void BM_ChannelBankJump(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_ChannelBankJump)->Arg(1)->Arg(64);
+
+void BM_ChannelBankLazyAdvance(benchmark::State& state) {
+  // Lazy touch-set advancement at 10/50/100% of the population read per
+  // frame (rotating window, the protocol frame-loop shape). 100% is the
+  // lazy-bookkeeping overhead bound vs BM_ChannelBankAdvance/10000.
+  const int n = 10000;
+  const int pct = static_cast<int>(state.range(0));
+  const int window = std::max(1, n * pct / 100);
+  auto bank = make_bank(n);
+  bank.set_lazy(true);
+  // Doubled id array so every rotating window is one contiguous span.
+  std::vector<common::UserId> ids(static_cast<std::size_t>(n) * 2);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<common::UserId>(i % static_cast<std::size_t>(n));
+  }
+  const double dt = channel::ChannelConfig{}.sample_interval;
+  double t = 0.0;
+  std::int64_t frame = 0;
+  for (auto _ : state) {
+    t += dt;
+    const std::size_t lo = static_cast<std::size_t>((frame * window) % n);
+    bank.advance_users_to({ids.data() + lo, static_cast<std::size_t>(window)},
+                          t);
+    benchmark::DoNotOptimize(bank.fading_power(ids[lo]));
+    ++frame;
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_ChannelBankLazyAdvance)->Arg(10)->Arg(50)->Arg(100);
 
 void BM_JakesSample(benchmark::State& state) {
   common::RngStream rng(2);

@@ -5,13 +5,17 @@
 // and off, and report the loss inflation relative to the 10 km/h point.
 //
 // Before the paper sweep, a hot-path ablation times the channel-evolution
-// inner loop — legacy per-user scalar walk vs the batched SoA ChannelBank,
-// and jump strides k=1 vs k=64 — and records the result as
-// BENCH_channel_bank.json (set CHARISMA_BENCH_JSON_DIR to redirect).
+// inner loop — legacy per-user scalar walk vs the batched SoA ChannelBank
+// (eager scalar), the lazy touch-set bank at ~10% active users per frame
+// (scalar and SIMD strips), and jump strides k=1 vs k=64 — and appends the
+// result as a trajectory point to BENCH_channel_bank.json (set
+// CHARISMA_BENCH_JSON_DIR to redirect).
+#include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <vector>
 
 #include "bench_support.hpp"
 
@@ -40,6 +44,7 @@ double benchmark_bank(int users, int frames, int stride) {
   for (int i = 0; i < users; ++i) {
     bank.add_user(cfg, common::RngStream(static_cast<std::uint64_t>(i) + 1));
   }
+  bank.set_strip_width(1);
   double sink = 0.0;
   const auto start = std::chrono::steady_clock::now();
   double t = 0.0;
@@ -54,18 +59,65 @@ double benchmark_bank(int users, int frames, int stride) {
   return wall.count();
 }
 
+/// Lazy bank with a rotating touch window: each frame declares only
+/// `touch_ratio` of the population as its read set (the frame-loop shape
+/// under ProtocolEngine's touch hooks), so an untouched user accrues
+/// deferred frames until its window comes around and one O(1) jump covers
+/// them all.
+double benchmark_bank_lazy(int users, int frames, double touch_ratio,
+                           int width) {
+  channel::ChannelBank bank;
+  bank.reserve(static_cast<std::size_t>(users));
+  const channel::ChannelConfig cfg{};
+  for (int i = 0; i < users; ++i) {
+    bank.add_user(cfg, common::RngStream(static_cast<std::uint64_t>(i) + 1));
+  }
+  bank.set_lazy(true);
+  bank.set_strip_width(width);
+  const int window = std::max(
+      1, static_cast<int>(static_cast<double>(users) * touch_ratio));
+  // Doubled id array so every rotating window is one contiguous span.
+  std::vector<common::UserId> ids(static_cast<std::size_t>(users) * 2);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<common::UserId>(i % static_cast<std::size_t>(users));
+  }
+  double sink = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  double t = 0.0;
+  for (int f = 0; f < frames; ++f) {
+    t += cfg.sample_interval;
+    const std::size_t lo = static_cast<std::size_t>(
+        (static_cast<long long>(f) * window) % users);
+    bank.advance_users_to(
+        {ids.data() + lo, static_cast<std::size_t>(window)}, t);
+    sink += bank.fading_power(ids[lo]);
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  if (sink < 0.0) std::cout << "";
+  return wall.count();
+}
+
 void run_hot_path_ablation() {
   const int users = bench::env_int("CHARISMA_BENCH_BANK_USERS", 10000);
   const int frames = bench::env_int("CHARISMA_BENCH_BANK_FRAMES", 400);
+  const double touch_ratio = 0.10;
+  const int simd_width = 8;
 
   const double legacy_s = benchmark_legacy_walk(users, frames);
-  // One stride-1 measurement serves as the common baseline for both the
-  // legacy speedup and the k=64 cost ratio.
-  const double bank_s = benchmark_bank(users, frames, 1);
-  const double jump1_s = bank_s;
+  // One stride-1 measurement serves as the common baseline for the legacy
+  // speedup, the k=64 cost ratio, and the lazy ablation.
+  const double eager_s = benchmark_bank(users, frames, 1);
+  const double jump1_s = eager_s;
   const double jump64_s = benchmark_bank(users, frames, 64);
-  const double speedup = legacy_s / bank_s;
+  const double lazy_scalar_s =
+      benchmark_bank_lazy(users, frames, touch_ratio, 1);
+  const double lazy_simd_s =
+      benchmark_bank_lazy(users, frames, touch_ratio, simd_width);
+  const double speedup = legacy_s / eager_s;
   const double jump_ratio = jump64_s / jump1_s;
+  const double lazy_speedup = eager_s / lazy_scalar_s;
+  const double simd_speedup = lazy_scalar_s / lazy_simd_s;
 
   common::TextTable table("Channel-evolution hot path (10k-user class)");
   table.set_header({"path", "users", "frames", "wall (s)",
@@ -77,41 +129,48 @@ void run_hot_path_ablation() {
   table.add_row({"legacy per-user walk", common::TextTable::num(users, 0),
                  common::TextTable::num(frames, 0),
                  common::TextTable::num(legacy_s, 4), rate(legacy_s)});
-  table.add_row({"SoA ChannelBank", common::TextTable::num(users, 0),
+  table.add_row({"eager scalar bank", common::TextTable::num(users, 0),
                  common::TextTable::num(frames, 0),
-                 common::TextTable::num(bank_s, 4), rate(bank_s)});
+                 common::TextTable::num(eager_s, 4), rate(eager_s)});
   table.add_row({"bank, k=64 jumps", common::TextTable::num(users, 0),
                  common::TextTable::num(frames, 0),
                  common::TextTable::num(jump64_s, 4), rate(jump64_s)});
+  table.add_row({"lazy scalar, 10% touched", common::TextTable::num(users, 0),
+                 common::TextTable::num(frames, 0),
+                 common::TextTable::num(lazy_scalar_s, 4),
+                 rate(lazy_scalar_s)});
+  table.add_row({"lazy SIMD w=8, 10% touched",
+                 common::TextTable::num(users, 0),
+                 common::TextTable::num(frames, 0),
+                 common::TextTable::num(lazy_simd_s, 4), rate(lazy_simd_s)});
   table.print(std::cout);
-  std::cout << "speedup (bank vs legacy): "
+  std::cout << "speedup (eager bank vs legacy): "
             << common::TextTable::num(speedup, 2)
             << "x; k=64 vs k=1 cost ratio: "
             << common::TextTable::num(jump_ratio, 2)
-            << " (O(1) target: ~1)\n\n";
+            << " (O(1) target: ~1)\n"
+            << "lazy scalar vs eager (10% active/frame): "
+            << common::TextTable::num(lazy_speedup, 2)
+            << "x (acceptance floor: 3x); SIMD w=8 vs scalar strip: "
+            << common::TextTable::num(simd_speedup, 2) << "x\n\n";
 
-  const char* dir = std::getenv("CHARISMA_BENCH_JSON_DIR");
-  const std::string path =
-      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
-      "BENCH_channel_bank.json";
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "could not write " << path << '\n';
-    return;
-  }
-  out << "{\n"
-      << "  \"benchmark\": \"channel_bank_hot_path\",\n"
-      << "  \"schema_version\": 1,\n"
-      << "  \"users\": " << users << ",\n"
-      << "  \"frames\": " << frames << ",\n"
-      << "  \"legacy_per_user_wall_s\": " << legacy_s << ",\n"
-      << "  \"channel_bank_wall_s\": " << bank_s << ",\n"
-      << "  \"speedup_bank_vs_legacy\": " << speedup << ",\n"
-      << "  \"jump_k1_wall_s\": " << jump1_s << ",\n"
-      << "  \"jump_k64_wall_s\": " << jump64_s << ",\n"
-      << "  \"jump_k64_vs_k1_ratio\": " << jump_ratio << "\n"
-      << "}\n";
-  std::cout << "(wrote " << path << ")\n\n";
+  std::ostringstream fields;
+  fields << "\"users\": " << users << ",\n      \"frames\": " << frames
+         << ",\n      \"touch_ratio\": " << touch_ratio
+         << ",\n      \"simd_width\": " << simd_width
+         << ",\n      \"legacy_per_user_wall_s\": " << legacy_s
+         << ",\n      \"eager_scalar_wall_s\": " << eager_s
+         << ",\n      \"lazy_scalar_wall_s\": " << lazy_scalar_s
+         << ",\n      \"lazy_simd_wall_s\": " << lazy_simd_s
+         << ",\n      \"speedup_eager_vs_legacy\": " << speedup
+         << ",\n      \"speedup_lazy_vs_eager\": " << lazy_speedup
+         << ",\n      \"speedup_simd_vs_scalar_strip\": " << simd_speedup
+         << ",\n      \"jump_k1_wall_s\": " << jump1_s
+         << ",\n      \"jump_k64_wall_s\": " << jump64_s
+         << ",\n      \"jump_k64_vs_k1_ratio\": " << jump_ratio;
+  bench::append_trajectory_point("channel_bank_hot_path",
+                                 "BENCH_channel_bank", fields.str());
+  std::cout << '\n';
 }
 
 }  // namespace

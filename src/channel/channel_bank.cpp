@@ -1,6 +1,8 @@
 #include "channel/channel_bank.hpp"
 
 #include <cmath>
+#include <mutex>
+#include <numeric>
 #include <stdexcept>
 
 #include "channel/fading.hpp"
@@ -15,6 +17,28 @@ constexpr double kHalfPower = 0.7071067811865476;  // sqrt(1/2)
 // lengths, so the per-group table stays tiny. The cap only guards against a
 // pathological caller advancing by a never-repeating stride sequence.
 constexpr std::size_t kMaxCachedStrides = 64;
+
+// Lane view over one slot of the strip kernel's flat state array, with the
+// exact draw semantics of SplitMix64 (same gamma, same mix, same 53-bit
+// uniform), so the ziggurat rejection continuation of any lane consumes
+// that lane's private stream just as the scalar path would.
+struct LaneEngine {
+  std::uint64_t& state;
+  std::uint64_t next() {
+    return common::detail::splitmix64_mix(state +=
+                                          common::detail::kSplitMixGamma);
+  }
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+double lane_normal(std::uint64_t& state,
+                   const common::detail::ZigguratTables& zig,
+                   std::uint64_t bits) {
+  LaneEngine eng{state};
+  return common::detail::ziggurat_normal_from(eng, zig, bits);
+}
 }  // namespace
 
 common::Hertz ChannelConfig::doppler_for_speed(common::Speed speed,
@@ -42,6 +66,7 @@ void ChannelBank::reserve(std::size_t users) {
   fading_power_.reserve(users);
   shadow_db_.reserve(users);
   shadow_linear_.reserve(users);
+  dt_index_.reserve(users);
 }
 
 std::size_t ChannelBank::group_for(double fade_rho, double shadow_rho) {
@@ -87,6 +112,19 @@ std::size_t ChannelBank::add_user(const ChannelConfig& config,
   step_.push_back(0);
   group_.push_back(group_for(fade_rho, shadow_rho));
 
+  // Register the sample interval with the lazy clock: one floor() per
+  // distinct dt per set_time, one table slot per user.
+  std::size_t di = 0;
+  while (di < distinct_dts_.size() && distinct_dts_[di] != config.sample_interval) {
+    ++di;
+  }
+  if (di == distinct_dts_.size()) {
+    distinct_dts_.push_back(config.sample_interval);
+    dt_targets_.push_back(static_cast<std::int64_t>(
+        std::floor(bank_time_ / config.sample_interval + 1e-9)));
+  }
+  dt_index_.push_back(static_cast<std::uint32_t>(di));
+
   // The user's RngStream seeds its compact per-user innovation engine.
   common::SplitMix64 fast(rng.engine()());
   const auto& zig = common::detail::ziggurat_tables();
@@ -110,21 +148,54 @@ std::size_t ChannelBank::add_user(const ChannelConfig& config,
   return user;
 }
 
+ChannelBank::JumpCoeffs ChannelBank::compute_coeffs(double fade_rho,
+                                                    double shadow_rho,
+                                                    std::int64_t k) {
+  const double fade_rho_k = std::pow(fade_rho, static_cast<double>(k));
+  const double shadow_rho_k = std::pow(shadow_rho, static_cast<double>(k));
+  JumpCoeffs c;
+  c.fade_rho_k = fade_rho_k;
+  c.fade_component_scale = std::sqrt((1.0 - fade_rho_k * fade_rho_k) * 0.5);
+  c.shadow_rho_k = shadow_rho_k;
+  c.shadow_unit_scale = std::sqrt(1.0 - shadow_rho_k * shadow_rho_k);
+  return c;
+}
+
+ChannelBank::JumpCoeffs ChannelBank::shared_coeffs(double fade_rho,
+                                                   double shadow_rho,
+                                                   std::int64_t k) {
+  struct Entry {
+    double fade_rho;
+    double shadow_rho;
+    std::int64_t k;
+    JumpCoeffs c;
+  };
+  // The cached value equals compute_coeffs bit for bit (it *is* a stored
+  // compute_coeffs result), so hitting or missing this cache can never
+  // perturb a simulation — only skip a pow(). The cap mirrors the local
+  // kMaxCachedStrides guard against never-repeating stride sequences.
+  static std::mutex mutex;
+  static std::vector<Entry> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& e : cache) {
+    if (e.fade_rho == fade_rho && e.shadow_rho == shadow_rho && e.k == k) {
+      return e.c;
+    }
+  }
+  const JumpCoeffs c = compute_coeffs(fade_rho, shadow_rho, k);
+  if (cache.size() >= 64 * kMaxCachedStrides) cache.clear();
+  cache.push_back(Entry{fade_rho, shadow_rho, k, c});
+  return c;
+}
+
 const ChannelBank::JumpCoeffs& ChannelBank::coeffs(std::size_t group,
                                                    std::int64_t k) {
   auto& strides = groups_[group].strides;
   for (const auto& entry : strides) {
     if (entry.first == k) return entry.second;
   }
-  const double fade_rho_k =
-      std::pow(groups_[group].fade_rho, static_cast<double>(k));
-  const double shadow_rho_k =
-      std::pow(groups_[group].shadow_rho, static_cast<double>(k));
-  JumpCoeffs c;
-  c.fade_rho_k = fade_rho_k;
-  c.fade_component_scale = std::sqrt((1.0 - fade_rho_k * fade_rho_k) * 0.5);
-  c.shadow_rho_k = shadow_rho_k;
-  c.shadow_unit_scale = std::sqrt(1.0 - shadow_rho_k * shadow_rho_k);
+  const JumpCoeffs c =
+      shared_coeffs(groups_[group].fade_rho, groups_[group].shadow_rho, k);
   if (strides.size() >= kMaxCachedStrides) strides.clear();
   strides.emplace_back(k, c);
   return strides.back().second;
@@ -155,9 +226,17 @@ void ChannelBank::jump_user(std::size_t user, const JumpCoeffs& c) {
 }
 
 void ChannelBank::advance_user_to(std::size_t user, common::Time t) {
-  // Same boundary rule as the historical per-user walk: the epsilon absorbs
-  // accumulated floating-point error when t is built by summing frame
-  // durations that are not exact binary fractions.
+  if (lazy_) {
+    // One clock per lazy bank: move it (monotonically) and materialize just
+    // this user; everyone else catches up on their own next read/touch.
+    set_time(t);
+    materialize_user(user);
+    return;
+  }
+  // Eager: the historical independent per-user walk (no bank clock). Same
+  // boundary rule as ever: the epsilon absorbs accumulated floating-point
+  // error when t is built by summing frame durations that are not exact
+  // binary fractions.
   const auto target =
       static_cast<std::int64_t>(std::floor(t / dt_[user] + 1e-9));
   if (target < step_[user]) {
@@ -167,39 +246,247 @@ void ChannelBank::advance_user_to(std::size_t user, common::Time t) {
   if (k == 0) return;
   jump_user(user, coeffs(group_[user], k));
   step_[user] = target;
+  ++jump_events_;
+  jump_frames_ += k;
+}
+
+void ChannelBank::set_time(common::Time t) {
+  // O(1) in the population: one floor() per distinct sample interval.
+  // Identical boundary expression to the historical advance_all_to loop, so
+  // eager advance_all_to (= set_time + materialize_all) lands on the same
+  // target steps bit for bit.
+  for (std::size_t i = 0; i < distinct_dts_.size(); ++i) {
+    const auto target = static_cast<std::int64_t>(
+        std::floor(t / distinct_dts_[i] + 1e-9));
+    if (target < dt_targets_[i]) {
+      throw std::logic_error("ChannelBank::set_time: time went backwards");
+    }
+    dt_targets_[i] = target;
+  }
+  bank_time_ = t;
+}
+
+void ChannelBank::materialize_user(std::size_t user) {
+  const std::int64_t target = dt_targets_[dt_index_[user]];
+  const std::int64_t k = target - step_[user];
+  if (k <= 0) {
+    if (k < 0) {
+      throw std::logic_error(
+          "ChannelBank::materialize_user: user ahead of the bank clock");
+    }
+    return;
+  }
+  jump_user(user, coeffs(group_[user], k));
+  step_[user] = target;
+  ++jump_events_;
+  jump_frames_ += k;
+}
+
+template <int W>
+void ChannelBank::strip_kernel(const std::uint32_t* lane_users,
+                               const JumpCoeffs& c, int branches,
+                               std::int64_t k, std::int64_t target) {
+  // Phase-separated twin of jump_user over W users sharing one stride: the
+  // per-lane expressions (and per-lane draw order) are exactly the scalar
+  // ones, so any W — and any partition of users into strips — yields
+  // bit-identical state. The u64 state rounds and the AR(1)/power update
+  // loops are flat W-wide arrays, which is what the autovectorizer needs;
+  // the rarely-taken ziggurat rejection continues scalar per lane on that
+  // lane's private stream.
+  std::uint64_t s[W];
+  std::size_t base[W];
+  double pow_acc[W];
+  for (int l = 0; l < W; ++l) {
+    const std::size_t u = lane_users[l];
+    s[l] = rng_[u].raw_state();
+    base[l] = branch_begin_[u];
+    pow_acc[l] = 0.0;
+  }
+  const auto& zig = common::detail::ziggurat_tables();
+  constexpr std::uint64_t gamma = common::detail::kSplitMixGamma;
+  double* const re = fade_re_.data();
+  double* const im = fade_im_.data();
+  for (int b = 0; b < branches; ++b) {
+    std::uint64_t bits_a[W];
+    std::uint64_t bits_b[W];
+    for (int l = 0; l < W; ++l) {
+      bits_a[l] = common::detail::splitmix64_mix(s[l] + gamma);
+      bits_b[l] = common::detail::splitmix64_mix(s[l] + 2 * gamma);
+      s[l] += 2 * gamma;
+    }
+    double wr[W];
+    double wi[W];
+    for (int l = 0; l < W; ++l) {
+      wr[l] = lane_normal(s[l], zig, bits_a[l]);
+      wi[l] = lane_normal(s[l], zig, bits_b[l]);
+    }
+    for (int l = 0; l < W; ++l) {
+      const std::size_t idx = base[l] + static_cast<std::size_t>(b);
+      const double r = c.fade_rho_k * re[idx] + c.fade_component_scale * wr[l];
+      const double i = c.fade_rho_k * im[idx] + c.fade_component_scale * wi[l];
+      re[idx] = r;
+      im[idx] = i;
+      pow_acc[l] += r * r + i * i;
+    }
+  }
+  std::uint64_t shadow_bits[W];
+  for (int l = 0; l < W; ++l) {
+    shadow_bits[l] = common::detail::splitmix64_mix(s[l] += gamma);
+  }
+  double shadow_w[W];
+  for (int l = 0; l < W; ++l) {
+    shadow_w[l] = lane_normal(s[l], zig, shadow_bits[l]);
+  }
+  for (int l = 0; l < W; ++l) {
+    const std::size_t u = lane_users[l];
+    fading_power_[u] = pow_acc[l] * inv_branch_count_[u];
+    shadow_db_[u] = c.shadow_rho_k * shadow_db_[u] +
+                    shadow_sigma_db_[u] * c.shadow_unit_scale * shadow_w[l];
+    shadow_linear_[u] = -1.0;
+    rng_[u].set_raw_state(s[l]);
+    step_[u] = target;
+  }
+  jump_events_ += W;
+  jump_frames_ += W * k;
+}
+
+template <int W, typename Index>
+void ChannelBank::materialize_batch(const Index* ids, std::size_t n) {
+  if constexpr (W == 1) {
+    // Scalar path: the classic memoized jump loop (bit-identical to the
+    // historical advance_all_to body when ids is the full population). In
+    // the common case every user shares one sample interval and one
+    // parameter group, so the coefficient lookup is hoisted out of the
+    // loop by the memo of the previous iteration.
+    std::size_t last_group = static_cast<std::size_t>(-1);
+    std::int64_t last_k = -1;
+    const JumpCoeffs* c = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto user = static_cast<std::size_t>(ids[i]);
+      const std::int64_t target = dt_targets_[dt_index_[user]];
+      if (target < step_[user]) {
+        throw std::logic_error(
+            "ChannelBank::advance_all_to: time went backwards");
+      }
+      const std::int64_t k = target - step_[user];
+      if (k == 0) continue;
+      if (c == nullptr || group_[user] != last_group || k != last_k) {
+        last_group = group_[user];
+        last_k = k;
+        c = &coeffs(last_group, k);
+      }
+      jump_user(user, *c);
+      step_[user] = target;
+      ++jump_events_;
+      jump_frames_ += k;
+    }
+  } else {
+    // Strip-mined path: runs of users sharing (stride, group, branches)
+    // fill W-wide lanes; key changes and remainders fall back to the
+    // scalar jump. Both paths produce the same bits, so mixed batches are
+    // purely a throughput matter.
+    std::uint32_t lanes[W];
+    int filled = 0;
+    std::size_t lane_group = 0;
+    std::int64_t lane_k = 0;
+    std::int64_t lane_target = 0;
+    int lane_branches = 0;
+    const JumpCoeffs* lane_c = nullptr;
+    auto flush_scalar = [&]() {
+      for (int l = 0; l < filled; ++l) {
+        const std::size_t u = lanes[l];
+        jump_user(u, *lane_c);
+        step_[u] = lane_target;
+        ++jump_events_;
+        jump_frames_ += lane_k;
+      }
+      filled = 0;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto user = static_cast<std::size_t>(ids[i]);
+      const std::int64_t target = dt_targets_[dt_index_[user]];
+      if (target < step_[user]) {
+        throw std::logic_error(
+            "ChannelBank::advance_all_to: time went backwards");
+      }
+      const std::int64_t k = target - step_[user];
+      if (k == 0) continue;
+      if (filled > 0 && (group_[user] != lane_group || k != lane_k ||
+                         branch_count_[user] != lane_branches)) {
+        flush_scalar();
+      }
+      if (filled == 0) {
+        lane_group = group_[user];
+        lane_k = k;
+        lane_target = target;
+        lane_branches = branch_count_[user];
+        lane_c = &coeffs(lane_group, lane_k);
+      }
+      lanes[filled++] = static_cast<std::uint32_t>(user);
+      if (filled == W) {
+        strip_kernel<W>(lanes, *lane_c, lane_branches, lane_k, lane_target);
+        filled = 0;
+      }
+    }
+    if (filled > 0) flush_scalar();
+  }
+}
+
+void ChannelBank::materialize_all() {
+  const std::size_t n = configs_.size();
+  if (scratch_ids_.size() != n) {
+    scratch_ids_.resize(n);
+    std::iota(scratch_ids_.begin(), scratch_ids_.end(), 0u);
+  }
+  switch (strip_width_) {
+    case 4:
+      materialize_batch<4>(scratch_ids_.data(), n);
+      break;
+    case 8:
+      materialize_batch<8>(scratch_ids_.data(), n);
+      break;
+    default:
+      materialize_batch<1>(scratch_ids_.data(), n);
+      break;
+  }
+}
+
+void ChannelBank::materialize_users(std::span<const common::UserId> users) {
+  for (const common::UserId id : users) {
+    if (id < 0 || static_cast<std::size_t>(id) >= configs_.size()) {
+      throw std::out_of_range("ChannelBank::materialize_users: bad user");
+    }
+  }
+  switch (strip_width_) {
+    case 4:
+      materialize_batch<4>(users.data(), users.size());
+      break;
+    case 8:
+      materialize_batch<8>(users.data(), users.size());
+      break;
+    default:
+      materialize_batch<1>(users.data(), users.size());
+      break;
+  }
+}
+
+void ChannelBank::advance_users_to(std::span<const common::UserId> users,
+                                   common::Time t) {
+  set_time(t);
+  materialize_users(users);
 }
 
 void ChannelBank::advance_all_to(common::Time t) {
-  // In the common case every user shares one sample interval and one
-  // parameter group, so both the target-step division and the coefficient
-  // lookup are hoisted out of the loop by the memo of the previous
-  // iteration.
-  std::size_t last_group = static_cast<std::size_t>(-1);
-  std::int64_t last_k = -1;
-  const JumpCoeffs* c = nullptr;
-  double last_dt = -1.0;
-  std::int64_t last_target = 0;
-  const std::size_t n = configs_.size();
-  for (std::size_t user = 0; user < n; ++user) {
-    if (dt_[user] != last_dt) {
-      last_dt = dt_[user];
-      last_target = static_cast<std::int64_t>(std::floor(t / last_dt + 1e-9));
-    }
-    const std::int64_t target = last_target;
-    if (target < step_[user]) {
-      throw std::logic_error(
-          "ChannelBank::advance_all_to: time went backwards");
-    }
-    const std::int64_t k = target - step_[user];
-    if (k == 0) continue;
-    if (c == nullptr || group_[user] != last_group || k != last_k) {
-      last_group = group_[user];
-      last_k = k;
-      c = &coeffs(last_group, k);
-    }
-    jump_user(user, *c);
-    step_[user] = target;
+  set_time(t);
+  materialize_all();
+}
+
+void ChannelBank::set_strip_width(int width) {
+  if (width != 1 && width != 4 && width != 8) {
+    throw std::invalid_argument(
+        "ChannelBank::set_strip_width: width must be 1, 4 or 8");
   }
+  strip_width_ = width;
 }
 
 void ChannelBank::set_mean_snr_db(std::size_t user, double db) {
@@ -256,6 +543,10 @@ void ChannelBank::snr_db_all(std::span<double> out) const {
   if (out.size() < n) {
     throw std::invalid_argument("ChannelBank::snr_db_all: short span");
   }
+  // The pilot plane reads everyone, so a lazy bank re-anchors the whole
+  // population here — this is what bounds a mobile world's idle gaps at
+  // one epoch. Same logical-constness note as ensure_user.
+  if (lazy_) const_cast<ChannelBank*>(this)->materialize_all();
   constexpr double kTenOverLn10 = 4.342944819032518;  // 10 / ln(10)
   const double* mean_db = mean_snr_db_.data();
   const double* shadow = shadow_db_.data();

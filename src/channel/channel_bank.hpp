@@ -18,7 +18,30 @@
 // Each user keeps its own RngStream (seeded from the scenario seed and user
 // id), so results are independent of population size and of whether a user
 // is advanced individually or in the batched pass.
+//
+// Lazy mode (set_lazy(true), opt-in): the bank separates the frame clock
+// from materialization. set_time(t) moves the clock in O(1); per-user state
+// is materialized on demand — by the frame's declared touch set
+// (advance_users_to / materialize_users) or transparently by the first read
+// of an untouched user — via the same closed-form jump, so a user idle for
+// k frames pays one jump (two table lookups) instead of k. Because every
+// user owns a private innovation stream, a lazy bank's realization is
+// independent of *who* triggers materialization, of the order users
+// materialize in, and of the kernel strip width; it is NOT samplewise
+// identical to the eager schedule (a k-jump consumes one innovation set
+// where k unit steps consume k — the two are equal in distribution, not in
+// realization), which is why eager remains the default and reproduces the
+// historical sequences bit for bit.
 #pragma once
+
+/// Compile-time default strip width of the batched materialization kernel
+/// (the CHARISMA_SIMD CMake knob). All widths {1, 4, 8} are always
+/// compiled and runtime-selectable via set_strip_width — the knob only
+/// picks the default — so scalar-vs-SIMD bit-equality is testable in every
+/// build config. Width 1 routes through the classic scalar jump loop.
+#ifndef CHARISMA_SIMD_WIDTH
+#define CHARISMA_SIMD_WIDTH 1
+#endif
 
 #include <cmath>
 #include <cstdint>
@@ -63,10 +86,60 @@ class ChannelBank {
   std::size_t size() const { return configs_.size(); }
 
   /// Advances every user to (the grid point at or before) `t` in one pass.
+  /// Equivalent to set_time(t) + materialize_all(); in the default eager
+  /// mode this reproduces the historical per-frame schedule bit for bit.
   void advance_all_to(common::Time t);
 
   /// Advances one user; must be called with non-decreasing times per user.
+  /// In lazy mode this moves the bank clock (monotonically) and
+  /// materializes just this user; in eager mode it is the historical
+  /// independent per-user advance and leaves the bank clock untouched.
   void advance_user_to(std::size_t user, common::Time t);
+
+  // ---- Lazy on-demand materialization (opt-in; see file comment) ----
+
+  /// Switches the bank to (or from) lazy demand-driven materialization.
+  /// Call before the first advance; reads of a lazy bank transparently
+  /// materialize the addressed user up to the bank clock.
+  void set_lazy(bool lazy) { lazy_ = lazy; }
+  bool lazy() const { return lazy_; }
+
+  /// O(1) frame-clock move: records `t` (non-decreasing) as the boundary
+  /// every subsequent read/touch materializes to. No per-user work.
+  void set_time(common::Time t);
+
+  /// Materializes the given users up to the bank clock in one strip-mined
+  /// batch (the frame's declared touch set: transmitters, contenders,
+  /// polled rows). Ids out of [0, size()) throw; duplicates are fine
+  /// (a second materialization at the same clock is a no-op).
+  void materialize_users(std::span<const common::UserId> users);
+
+  /// Materializes every user up to the bank clock (epoch pilot planes).
+  void materialize_all();
+
+  /// set_time(t) + materialize_users(users): the lazy frame-loop entry
+  /// point replacing advance_all_to(t) when only `users` will be read.
+  void advance_users_to(std::span<const common::UserId> users,
+                        common::Time t);
+
+  /// Selects the strip width of the batched materialization kernel at
+  /// runtime (1, 4 or 8; default CHARISMA_SIMD_WIDTH). Any width yields
+  /// bit-identical state — pinned by tests — so this is purely a
+  /// performance knob (and the lever the equivalence tests use to compare
+  /// scalar and SIMD paths inside one binary).
+  void set_strip_width(int width);
+  int strip_width() const { return strip_width_; }
+
+  /// Materialization accounting since construction: `jump_events` counts
+  /// executed jumps (user-frames where work was done), `jump_frames` the
+  /// user-frames covered (sum of jump strides). Eager banks report a
+  /// stride of exactly 1 (events == frames); the gap between the two is
+  /// the work lazy mode avoided.
+  struct LazyStats {
+    std::int64_t jump_events = 0;
+    std::int64_t jump_frames = 0;
+  };
+  LazyStats lazy_stats() const { return {jump_events_, jump_frames_}; }
 
   /// Re-anchors the user's link-budget mean SNR (dB) — the mobility fast
   /// path: path loss moves the mean while the fading/shadowing processes
@@ -106,6 +179,7 @@ class ChannelBank {
   /// the exp() is paid by the first read — protocol frames read the SNR
   /// of a handful of candidates, not of the whole population.
   double snr_linear(std::size_t user) const {
+    if (lazy_) ensure_user(user);
     return mean_snr_linear_[user] * fading_power_[user] *
            shadow_linear(user) * interference_linear_[user];
   }
@@ -120,8 +194,28 @@ class ChannelBank {
   void snr_db_all(std::span<double> out) const;
 
   /// Components, exposed for tracing and tests.
-  double fading_power(std::size_t user) const { return fading_power_[user]; }
-  double shadow_db(std::size_t user) const { return shadow_db_[user]; }
+  double fading_power(std::size_t user) const {
+    if (lazy_) ensure_user(user);
+    return fading_power_[user];
+  }
+  double shadow_db(std::size_t user) const {
+    if (lazy_) ensure_user(user);
+    return shadow_db_[user];
+  }
+
+  /// Per-branch I/Q state and the private innovation-engine cursor,
+  /// exposed for the jump-vs-step equivalence tests (which pin that k
+  /// deferred clock moves + one materialization equals one k-jump bitwise,
+  /// RNG cursor included). Branch reads do NOT materialize lazily.
+  double fade_re(std::size_t user, int branch) const {
+    return fade_re_[branch_begin_[user] + static_cast<std::size_t>(branch)];
+  }
+  double fade_im(std::size_t user, int branch) const {
+    return fade_im_[branch_begin_[user] + static_cast<std::size_t>(branch)];
+  }
+  std::uint64_t rng_cursor(std::size_t user) const {
+    return rng_[user].raw_state();
+  }
 
   const ChannelConfig& config(std::size_t user) const {
     return configs_[user];
@@ -151,7 +245,41 @@ class ChannelBank {
 
   std::size_t group_for(double fade_rho, double shadow_rho);
   const JumpCoeffs& coeffs(std::size_t group, std::int64_t k);
+  static JumpCoeffs compute_coeffs(double fade_rho, double shadow_rho,
+                                   std::int64_t k);
+  /// Process-wide (fade_rho, shadow_rho, k) -> JumpCoeffs memo shared by
+  /// every bank, so standalone UserChannels and the per-cell banks of a
+  /// world reuse one pow() evaluation per distinct stride instead of
+  /// rebuilding tables per instance. Mutex-guarded; only consulted on a
+  /// local-table miss, so the hot path stays lock-free.
+  static JumpCoeffs shared_coeffs(double fade_rho, double shadow_rho,
+                                  std::int64_t k);
   void jump_user(std::size_t user, const JumpCoeffs& c);
+
+  /// Materializes one user up to the bank clock (lazy read path).
+  void materialize_user(std::size_t user);
+  /// Logical-constness escape for lazy reads: the observable value is "the
+  /// state at the bank clock"; whether it is physically materialized is an
+  /// implementation detail (banks are externally synchronized per cell, so
+  /// no concurrent-read hazard is introduced).
+  void ensure_user(std::size_t user) const {
+    if (step_[user] != dt_targets_[dt_index_[user]]) {
+      const_cast<ChannelBank*>(this)->materialize_user(user);
+    }
+  }
+
+  /// Walks `ids`, groups users sharing (stride, param group, branch count)
+  /// into width-W strips for strip_kernel, and falls back to the scalar
+  /// jump for remainders and mixed-key runs. Any W yields bit-identical
+  /// state (the kernel evaluates the same per-lane expressions).
+  template <int W, typename Index>
+  void materialize_batch(const Index* ids, std::size_t n);
+  /// Advances exactly W users by the same stride: phase-separated flat
+  /// loops (splitmix64 state rounds, ziggurat accepts, AR(1) updates) over
+  /// lane arrays, matching jump_user's arithmetic lane for lane.
+  template <int W>
+  void strip_kernel(const std::uint32_t* lane_users, const JumpCoeffs& c,
+                    int branches, std::int64_t k, std::int64_t target);
 
   double shadow_linear(std::size_t user) const {
     double linear = shadow_linear_[user];
@@ -196,6 +324,23 @@ class ChannelBank {
   mutable std::vector<double> shadow_linear_;
 
   std::vector<ParamGroup> groups_;
+
+  // ---- Lazy clock ----
+  // The frame boundary as a per-distinct-dt target step: dt_index_[u] is a
+  // small index into distinct_dts_/dt_targets_, so set_time computes one
+  // floor() per distinct sample interval (normally exactly one) and
+  // ensure_user is two array loads + a compare.
+  bool lazy_ = false;
+  int strip_width_ = CHARISMA_SIMD_WIDTH;
+  common::Time bank_time_ = 0.0;
+  std::vector<common::Time> distinct_dts_;
+  std::vector<std::int64_t> dt_targets_;
+  std::vector<std::uint32_t> dt_index_;
+  std::vector<std::uint32_t> scratch_ids_;  // materialize_all's iota batch
+
+  // Materialization accounting (see lazy_stats).
+  std::int64_t jump_events_ = 0;
+  std::int64_t jump_frames_ = 0;
 };
 
 }  // namespace charisma::channel

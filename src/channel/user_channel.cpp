@@ -4,6 +4,9 @@ namespace charisma::channel {
 
 UserChannel::UserChannel(const ChannelConfig& config, common::RngStream rng)
     : owned_(std::make_unique<ChannelBank>()), bank_(owned_.get()) {
+  // The private bank's jump coefficients come from the process-wide
+  // shared_coeffs memo, so standalone channels do not each re-derive the
+  // rho^k tables their strides need.
   index_ = bank_->add_user(config, std::move(rng));
 }
 

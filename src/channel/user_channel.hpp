@@ -8,7 +8,11 @@
 // hot path). Inside a ProtocolEngine all users share the engine's bank and
 // are advanced together; constructed standalone (tests, traces, handoff
 // studies) it owns a private single-user bank, so the API and statistics
-// are identical either way.
+// are identical either way. Standalone instances are cheap to create in
+// bulk: the rho^k jump-coefficient tables are memoized process-wide
+// (ChannelBank::shared_coeffs), so a thousand single-user banks advancing
+// on the same grid share one pow() evaluation per distinct stride instead
+// of rebuilding the table each.
 #pragma once
 
 #include <cstddef>

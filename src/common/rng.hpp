@@ -37,17 +37,28 @@ struct ZigguratTables {
 };
 const ZigguratTables& ziggurat_tables();
 
-/// Ziggurat sampler over any engine exposing next() -> uint64 and
-/// uniform() -> [0, 1), with the first candidate draw supplied by the
-/// caller (lets callers pre-generate draws with independent mixing chains
-/// for ILP). Header-inline so tight SoA loops inline the ~97.9%
-/// single-draw accept path.
+/// The splitmix64 increment and output mix, exposed as free functions so
+/// the strip-mined ChannelBank kernel can advance W lane states in flat
+/// arrays (auto-vectorizable integer ops) and still produce bit-identical
+/// sequences to SplitMix64 instances.
+inline constexpr std::uint64_t kSplitMixGamma = 0x9E3779B97F4A7C15ULL;
+
+inline constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Rejection continuation of the ziggurat sampler: handles the candidate
+/// `bits` that failed (or may fail) the fast accept test — wedge and tail
+/// rejection, drawing further candidates from `eng` as needed. Split out
+/// of ziggurat_normal_from so the ~97.9% accept path stays branch-light
+/// enough for strip-mined SIMD loops; the sequence of engine draws is
+/// exactly that of the original fused loop.
 template <typename Engine>
-inline double ziggurat_normal_from(Engine& eng, const ZigguratTables& zig,
-                                   std::uint64_t bits) {
+double ziggurat_normal_slow(Engine& eng, const ZigguratTables& zig,
+                            std::uint64_t bits) {
   for (;;) {
-    // One 64-bit draw funds the whole fast path: layer index (bits 0-6),
-    // sign (bit 7) and a 53-bit magnitude (bits 11-63).
     const auto idx = static_cast<std::size_t>(bits & 127);
     const bool negative = (bits >> 7) & 1;
     const std::uint64_t hz = bits >> 11;
@@ -74,6 +85,24 @@ inline double ziggurat_normal_from(Engine& eng, const ZigguratTables& zig,
     }
     bits = eng.next();
   }
+}
+
+/// Ziggurat sampler over any engine exposing next() -> uint64 and
+/// uniform() -> [0, 1), with the first candidate draw supplied by the
+/// caller (lets callers pre-generate draws with independent mixing chains
+/// for ILP). Header-inline so tight SoA loops inline the ~97.9%
+/// single-draw accept path: layer index (bits 0-6), sign (bit 7) and a
+/// 53-bit magnitude (bits 11-63) all funded by one 64-bit draw.
+template <typename Engine>
+inline double ziggurat_normal_from(Engine& eng, const ZigguratTables& zig,
+                                   std::uint64_t bits) {
+  const auto idx = static_cast<std::size_t>(bits & 127);
+  const std::uint64_t hz = bits >> 11;
+  if (hz < zig.k[idx]) {
+    const double x = static_cast<double>(hz) * zig.w[idx];
+    return ((bits >> 7) & 1) ? -x : x;
+  }
+  return ziggurat_normal_slow(eng, zig, bits);
 }
 
 template <typename Engine>
@@ -116,14 +145,16 @@ class SplitMix64 {
     b = detail::ziggurat_normal_from(*this, zig, bits_b);
   }
 
- private:
-  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+  /// Raw counter state, exposed for the strip-mined ChannelBank kernel
+  /// (which advances lane states in flat arrays and writes them back) and
+  /// for the RNG-cursor assertions of the jump-vs-step equivalence tests.
+  std::uint64_t raw_state() const { return state_; }
+  void set_raw_state(std::uint64_t state) { state_ = state; }
 
-  static std::uint64_t mix(std::uint64_t z) {
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-  }
+ private:
+  static constexpr std::uint64_t kGamma = detail::kSplitMixGamma;
+
+  static std::uint64_t mix(std::uint64_t z) { return detail::splitmix64_mix(z); }
 
   std::uint64_t state_;
 };

@@ -14,6 +14,7 @@ void ReplicatedResult::add(const mac::ProtocolMetrics& metrics) {
   slot_utilization.add(metrics.slot_utilization());
   slot_waste.add(metrics.slot_waste_ratio());
   request_success.add(metrics.request_success_ratio());
+  materialization_stride.add(metrics.mean_materialization_stride());
   voice_loss_pooled.add_many(
       metrics.voice_dropped_deadline + metrics.voice_error_lost +
           metrics.voice_dropped_handoff,

@@ -39,6 +39,9 @@ struct ReplicatedResult {
   common::Accumulator slot_utilization;
   common::Accumulator slot_waste;
   common::Accumulator request_success;
+  /// User-frames of channel evolution per executed jump (exactly 1 under
+  /// the default eager advancement; the lazy-channel win factor otherwise).
+  common::Accumulator materialization_stride;
 
   // Pooled raw counters (for Wilson intervals on proportions).
   common::RatioCounter voice_loss_pooled;  ///< "success" = packet lost

@@ -168,6 +168,9 @@ void CellularWorld::update_cell_snr_plane(int c) {
   auto& bank = cells_[static_cast<std::size_t>(c)]->channel_bank();
   bank.set_mean_snr_db_all({row, users});
   if (!interf) {
+    // Pilot snapshot reads every user, so under a lazy bank the epoch is a
+    // full re-anchor: snr_db_all materializes the whole population, which
+    // bounds any user's deferred-jump stride by the epoch period.
     bank.snr_db_all({row, users});
     if (cell_dark(c)) {
       // The bank was fed the true plane (its fading state and draw order

@@ -35,6 +35,9 @@ ProtocolEngine::ProtocolEngine(const ScenarioParams& params)
   // line up with the coherence model.
   params_.channel.sample_interval = geom_.frame_duration;
   bank_.reserve(static_cast<std::size_t>(params.total_users()));
+  // Opt-in demand-driven materialization: advance_world moves the bank
+  // clock in O(1) and the frame's touch sets / reads materialize users.
+  bank_.set_lazy(params_.lazy_channel);
   users_.reserve(static_cast<std::size_t>(params.total_users()));
   for (int i = 0; i < params.num_voice_users; ++i) {
     users_.emplace_back(static_cast<common::UserId>(i), ServiceType::kVoice,
@@ -120,6 +123,19 @@ common::Time ProtocolEngine::frame_tick() {
   ++frame_index_;
   ++metrics_.frames;
   metrics_.measured_time += duration;
+  // Materialization accounting: fold the bank's counter deltas into the
+  // metrics. jump-event delta = users that did channel work this frame;
+  // covered-frames delta beyond that = user-frames lazily skipped earlier
+  // and paid for by one jump now. Eager banks report stride exactly 1.
+  {
+    const auto stats = bank_.lazy_stats();
+    const std::int64_t events = stats.jump_events - lazy_events_seen_;
+    const std::int64_t frames = stats.jump_frames - lazy_frames_seen_;
+    metrics_.users_advanced_frames += events;
+    metrics_.users_skipped_frames += frames - events;
+    lazy_events_seen_ = stats.jump_events;
+    lazy_frames_seen_ = stats.jump_frames;
+  }
   if (barring_ &&
       ++barr_win_frames_ >= params_.barring.update_interval_frames) {
     barring_control_step();
@@ -149,13 +165,22 @@ void ProtocolEngine::barring_control_step() {
 
 void ProtocolEngine::advance_world() {
   const common::Time t = sim_.now();
-  // One batched SoA pass over every user's fading/shadowing state instead
-  // of per-user pointer-chasing walks. Detached users' channels keep
-  // evolving (their pilots are what the attachment policy measures and the
-  // draw order must not depend on the attachment pattern); only their
-  // traffic is frozen — the attached cell's copy is authoritative and is
-  // carried over on handoff.
-  bank_.advance_all_to(t);
+  // Eager (default): one batched SoA pass over every user's
+  // fading/shadowing state instead of per-user pointer-chasing walks.
+  // Detached users' channels keep evolving (their pilots are what the
+  // attachment policy measures and the draw order must not depend on the
+  // attachment pattern); only their traffic is frozen — the attached
+  // cell's copy is authoritative and is carried over on handoff.
+  //
+  // Lazy (params.lazy_channel): an O(1) clock move. Users materialize via
+  // the protocol's touch_channels sets or transparently on first read —
+  // an idle user's whole gap collapses into one closed-form jump when it
+  // next matters (detached users' included, at the epoch pilot plane).
+  if (params_.lazy_channel) {
+    bank_.set_time(t);
+  } else {
+    bank_.advance_all_to(t);
+  }
   std::int64_t present = 0;
   for (auto& u : users_) {
     if (!u.present()) continue;
@@ -193,6 +218,10 @@ bool ProtocolEngine::barring_blocks(MobileUser& u) {
 ContentionOutcome ProtocolEngine::run_contention(
     const std::vector<common::UserId>& candidates, int minislots,
     int symbols_per_request) {
+  // Contenders are this frame's dense read set (winners get CSI estimates,
+  // CHARISMA ranks them by channel): one batched materialization beats the
+  // scattered on-read jumps a lazy bank would otherwise pay.
+  touch_channels(candidates);
   auto outcome = run_request_phase(
       candidates, minislots,
       [this](common::UserId id) {

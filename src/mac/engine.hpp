@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,7 +51,15 @@ class ProtocolEngine {
   void advance_by(common::Time duration);
 
   /// Discards everything measured so far (run() does this after warmup).
-  void reset_metrics() { metrics_.reset(); }
+  /// Also re-baselines the bank's materialization counters, so warmup
+  /// materializations never leak into the first measured frame's
+  /// users_advanced/skipped accounting.
+  void reset_metrics() {
+    metrics_.reset();
+    const auto stats = bank_.lazy_stats();
+    lazy_events_seen_ = stats.jump_events;
+    lazy_frames_seen_ = stats.jump_frames;
+  }
 
   // ---- Multi-cell attachment (CellularWorld) ----
 
@@ -127,8 +136,21 @@ class ProtocolEngine {
   // ---- World helpers ----
 
   /// Advances channels and sources to the current frame boundary and
-  /// accounts packet generation/expiry.
+  /// accounts packet generation/expiry. With params.lazy_channel the
+  /// channel side is an O(1) clock move (bank_.set_time); per-user state
+  /// materializes when the frame touches or reads it.
   void advance_world();
+
+  /// Declares the users this frame is about to read (slot owners, due
+  /// lists, contention candidates, grant queues): a lazy bank
+  /// materializes them as one dense strip-mined batch instead of paying
+  /// scattered on-read jumps; an eager bank (the default) needs nothing.
+  /// The touch set is an optimization, not an obligation — any user read
+  /// without being declared still materializes transparently, so protocol
+  /// hooks only need to cover their hot sets.
+  void touch_channels(std::span<const common::UserId> users) {
+    if (bank_.lazy()) bank_.materialize_users(users);
+  }
 
   /// This user's permission probability (paper §2, p_v / p_d).
   double permission_prob(const MobileUser& u) const;
@@ -225,6 +247,10 @@ class ProtocolEngine {
   std::optional<LoadEstimator> load_estimator_;
   std::optional<BarringController> barring_;
   double last_interference_db_ = 0.0;
+  // Bank-counter snapshot already attributed to metrics_ (frame_tick
+  // scrapes deltas; reset_metrics re-baselines).
+  std::int64_t lazy_events_seen_ = 0;
+  std::int64_t lazy_frames_seen_ = 0;
   std::int64_t barr_win_minislots_ = 0;
   std::int64_t barr_win_collisions_ = 0;
   std::int64_t barr_win_user_frames_ = 0;

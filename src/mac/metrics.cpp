@@ -43,6 +43,8 @@ void ProtocolMetrics::merge(const ProtocolMetrics& other) {
   csi_polls += other.csi_polls;
   csi_stale_allocations += other.csi_stale_allocations;
   acks_lost += other.acks_lost;
+  users_advanced_frames += other.users_advanced_frames;
+  users_skipped_frames += other.users_skipped_frames;
   energy_request_j += other.energy_request_j;
   energy_info_j += other.energy_info_j;
   energy_pilot_j += other.energy_pilot_j;
@@ -119,6 +121,18 @@ double ProtocolMetrics::mean_attached_users() const {
 
 double ProtocolMetrics::mean_interference_db() const {
   return interference_db.count() > 0 ? interference_db.mean() : 0.0;
+}
+
+double ProtocolMetrics::mean_materialization_stride() const {
+  return safe_div(
+      static_cast<double>(users_advanced_frames + users_skipped_frames),
+      static_cast<double>(users_advanced_frames));
+}
+
+double ProtocolMetrics::skipped_user_frame_fraction() const {
+  return safe_div(
+      static_cast<double>(users_skipped_frames),
+      static_cast<double>(users_advanced_frames + users_skipped_frames));
 }
 
 double ProtocolMetrics::handoff_rate_hz() const {

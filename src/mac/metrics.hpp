@@ -100,6 +100,15 @@ struct ProtocolMetrics {
   // Downlink acknowledgment failures (injected; see ScenarioParams).
   std::int64_t acks_lost = 0;
 
+  // Channel-materialization accounting (ScenarioParams::lazy_channel
+  // observability; eager runs report every user advanced every frame).
+  // users_advanced_frames counts user-frames where a jump executed;
+  // users_skipped_frames counts user-frames covered lazily by a later
+  // jump. advanced + skipped = user-frames of channel evolution observed;
+  // mean_materialization_stride() = their ratio to jumps executed.
+  std::int64_t users_advanced_frames = 0;
+  std::int64_t users_skipped_frames = 0;
+
   // Mobile-device energy accounting (paper §1, motivation 2).
   double energy_request_j = 0.0;  ///< request/auction/competitive bursts
   double energy_info_j = 0.0;     ///< information-slot transmissions
@@ -156,6 +165,12 @@ struct ProtocolMetrics {
   double mean_attached_users() const;
   /// Mean per-epoch SINR penalty (dB); 0 when no interference plane ran.
   double mean_interference_db() const;
+  /// User-frames of channel evolution per executed jump: exactly 1 under
+  /// eager advancement, the lazy win factor otherwise. 0 on empty windows.
+  double mean_materialization_stride() const;
+  /// Fraction of observed user-frames whose per-frame jump was skipped
+  /// (folded into a later materialization). 0 under eager advancement.
+  double skipped_user_frame_fraction() const;
   /// Handoffs out of this cell per measured second.
   double handoff_rate_hz() const;
 

@@ -50,6 +50,15 @@ struct ScenarioParams {
   /// the disabled path preserves every legacy result bit for bit).
   BarringConfig barring{};
 
+  /// Demand-driven channel materialization (off by default — eager
+  /// advancement preserves every legacy result bit for bit). When on, the
+  /// per-frame bank pass becomes an O(1) clock move and only touched/read
+  /// users pay jumps: statistically exact (the closed-form jump is the
+  /// k-step AR(1)/OU composition) and invariant to thread count, strip
+  /// width and touch batching, but a different realization than eager —
+  /// a k-jump consumes one innovation set where k unit steps consume k.
+  bool lazy_channel = false;
+
   // Request contention model (paper §2): permission probabilities.
   double voice_permission_prob = 0.3;
   double data_permission_prob = 0.2;

@@ -45,6 +45,17 @@ common::Time DrmaProtocol::process_frame() {
   std::unordered_set<common::UserId> engaged;  // queued or won this frame
   for (const auto& r : pending) engaged.insert(r.user);
 
+  // Touch set: reservation holders of this phase plus the queued users a
+  // free slot may serve; conversion contenders are covered by
+  // run_contention's own touch.
+  std::vector<common::UserId> touched;
+  for (int slot = 0; slot < options_.info_slots; ++slot) {
+    const common::UserId owner = grid_.user_at(phase, slot);
+    if (owner != common::kNoUser) touched.push_back(owner);
+  }
+  for (const auto& r : pending) touched.push_back(r.user);
+  touch_channels(touched);
+
   for (int slot = 0; slot < options_.info_slots; ++slot) {
     const common::UserId owner = grid_.user_at(phase, slot);
     if (owner != common::kNoUser) {

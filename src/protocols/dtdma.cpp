@@ -92,8 +92,11 @@ common::Time DtdmaProtocol::process_frame() {
       static_cast<int>(frame_index() % geom_.frames_per_voice_period);
   offer_info_slots(geom_.num_info_slots);
 
-  // 1. Reserved voice users transmit in their owned slots.
+  // 1. Reserved voice users transmit in their owned slots. They are this
+  //    frame's dense read set, so declare them to a lazy bank in one batch
+  //    (queued to_serve users are sparse and materialize on read).
   const auto due = grid_.due_in_phase(phase);
+  touch_channels(due);
   for (common::UserId uid : due) {
     transmit_voice(user(uid));
   }

@@ -25,6 +25,15 @@ common::Time PrmaProtocol::process_frame() {
       static_cast<int>(frame_index() % geom_.frames_per_voice_period);
   offer_info_slots(options_.info_slots);
 
+  // Touch set: this phase's reservation holders transmit unconditionally;
+  // direct-transmission winners are sparse and materialize on read.
+  std::vector<common::UserId> owners;
+  for (int slot = 0; slot < options_.info_slots; ++slot) {
+    const common::UserId owner = grid_.user_at(phase, slot);
+    if (owner != common::kNoUser) owners.push_back(owner);
+  }
+  touch_channels(owners);
+
   mac::ContentionTally tally;
   for (int slot = 0; slot < options_.info_slots; ++slot) {
     const common::UserId owner = grid_.user_at(phase, slot);

@@ -61,7 +61,11 @@ common::Time RamaProtocol::process_frame() {
       static_cast<int>(frame_index() % geom_.frames_per_voice_period);
   offer_info_slots(geom_.num_info_slots);
 
+  // This frame's dense read set: reservation holders transmit below; the
+  // auction itself never reads the channel (ID digits arbitrate), so
+  // winners and served requests materialize on read.
   const auto due = grid_.due_in_phase(phase);
+  touch_channels(due);
   for (common::UserId uid : due) {
     transmit_voice_fixed(user(uid));
   }

@@ -15,6 +15,12 @@ void RmavProtocol::on_user_detached(common::UserId id) {
 common::Time RmavProtocol::process_frame() {
   int served_slots = 0;
 
+  // Touch set: last frame's grant holders are the only users this frame
+  // reads (RMAV's competitive slot goes through run_request_phase
+  // directly, not run_contention, and contenders' channels are never read
+  // during the request itself).
+  touch_channels(grants_);
+
   // Serve the grants won in the previous frame's competitive slot.
   for (common::UserId uid : grants_) {
     auto& u = user(uid);

@@ -1,0 +1,259 @@
+// The lazy-materialization contract of ChannelBank (this PR's tentpole):
+//
+//  * k deferred clock moves + one materialization IS one k-jump — bitwise,
+//    per diversity branch, RNG cursor included (the property that makes the
+//    closed-form jump an *implementation detail* of lazy mode);
+//  * the strip-mined kernel is width-invariant: scalar (W=1) and SIMD
+//    (W=4/8) strips produce bit-identical state, so CHARISMA_SIMD is purely
+//    a speed knob;
+//  * the touch set is an optimization, not an obligation: scattered
+//    on-read materialization equals one batched declaration, bitwise;
+//  * the materialization counters account for every user-frame exactly.
+#include "channel/channel_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace charisma::channel {
+namespace {
+
+constexpr double kDt = 2.5e-3;
+
+ChannelConfig test_config(double doppler_hz = 100.0, int branches = 4) {
+  ChannelConfig cfg;
+  cfg.mean_snr_db = 16.0;
+  cfg.shadow_sigma_db = 3.0;
+  cfg.doppler_hz = doppler_hz;
+  cfg.diversity_branches = branches;
+  cfg.sample_interval = kDt;
+  return cfg;
+}
+
+ChannelBank make_bank(int users, std::uint64_t seed0,
+                      bool mixed_population = false) {
+  ChannelBank bank;
+  bank.reserve(static_cast<std::size_t>(users));
+  for (int u = 0; u < users; ++u) {
+    // Mixed population: two parameter groups and two branch counts, so the
+    // strip batcher must split runs at every key change.
+    const auto cfg = mixed_population
+                         ? test_config(u % 2 == 0 ? 100.0 : 220.0,
+                                       u % 3 == 0 ? 2 : 4)
+                         : test_config();
+    bank.add_user(cfg, common::RngStream(seed0 + static_cast<std::uint64_t>(u)));
+  }
+  return bank;
+}
+
+// NOTE: fading_power/shadow_db/snr_linear are materializing reads on a lazy
+// bank, so comparing two banks is itself a (bitwise-neutral) touch — callers
+// must compare users both banks have already materialized, or bulk-advance
+// first, for the current_step assertion to be meaningful.
+void expect_user_bitwise_equal(const ChannelBank& a, const ChannelBank& b,
+                               std::size_t u) {
+  SCOPED_TRACE("user " + std::to_string(u));
+  ASSERT_EQ(a.current_step(u), b.current_step(u));
+  for (int br = 0; br < a.config(u).diversity_branches; ++br) {
+    SCOPED_TRACE("branch " + std::to_string(br));
+    EXPECT_EQ(a.fade_re(u, br), b.fade_re(u, br));  // exact, not NEAR
+    EXPECT_EQ(a.fade_im(u, br), b.fade_im(u, br));
+  }
+  EXPECT_EQ(a.fading_power(u), b.fading_power(u));
+  EXPECT_EQ(a.shadow_db(u), b.shadow_db(u));
+  EXPECT_EQ(a.snr_linear(u), b.snr_linear(u));
+  EXPECT_EQ(a.rng_cursor(u), b.rng_cursor(u));
+}
+
+void expect_users_bitwise_equal(const ChannelBank& a, const ChannelBank& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    expect_user_bitwise_equal(a, b, u);
+  }
+}
+
+TEST(LazyBank, DeferredClockPlusMaterializeEqualsOneJump) {
+  // For every stride k in 1..257: k O(1) clock moves followed by the first
+  // read must equal the single eager k-jump — the same closed-form step,
+  // the same innovation draws, the same RNG cursor afterwards.
+  for (int k = 1; k <= 257; ++k) {
+    SCOPED_TRACE("k = " + std::to_string(k));
+    auto lazy = make_bank(3, 40);
+    auto eager = make_bank(3, 40);
+    lazy.set_lazy(true);
+    for (int i = 1; i <= k; ++i) {
+      lazy.set_time(static_cast<double>(i) * kDt);
+    }
+    // First read materializes: one jump of stride k.
+    ASSERT_GT(lazy.fading_power(1), 0.0);
+    eager.advance_user_to(1, static_cast<double>(k) * kDt);
+
+    ASSERT_EQ(lazy.current_step(1), static_cast<std::int64_t>(k));
+    for (int br = 0; br < 4; ++br) {
+      ASSERT_EQ(lazy.fade_re(1, br), eager.fade_re(1, br)) << "branch " << br;
+      ASSERT_EQ(lazy.fade_im(1, br), eager.fade_im(1, br)) << "branch " << br;
+    }
+    ASSERT_EQ(lazy.fading_power(1), eager.fading_power(1));
+    ASSERT_EQ(lazy.shadow_db(1), eager.shadow_db(1));
+    ASSERT_EQ(lazy.snr_linear(1), eager.snr_linear(1));
+    ASSERT_EQ(lazy.rng_cursor(1), eager.rng_cursor(1));
+    // Untouched neighbours were never materialized by the per-user read.
+    ASSERT_EQ(lazy.current_step(0), 0);
+    ASSERT_EQ(lazy.current_step(2), 0);
+  }
+}
+
+TEST(LazyBank, BulkAdvanceEqualsLazyMaterializeAll) {
+  // advance_all_to is already one k-jump per user, so "clock move + full
+  // materialization" and the eager bulk call are the same operation — the
+  // one place lazy and eager schedules coincide bitwise.
+  auto lazy = make_bank(6, 90, /*mixed_population=*/true);
+  auto eager = make_bank(6, 90, /*mixed_population=*/true);
+  lazy.set_lazy(true);
+  for (double t : {5 * kDt, 6 * kDt, 70 * kDt}) {
+    lazy.set_time(t);
+    lazy.materialize_all();
+    eager.advance_all_to(t);
+    expect_users_bitwise_equal(lazy, eager);
+  }
+}
+
+TEST(LazyBank, StripWidthsBitIdentical) {
+  // Scalar and SIMD strips over a mixed population with heterogeneous
+  // touch windows (so strides differ per user and strips are partial) must
+  // agree on every bit of state, every frame.
+  const int n = 23;  // not a multiple of any strip width
+  auto w1 = make_bank(n, 7, /*mixed_population=*/true);
+  auto w4 = make_bank(n, 7, /*mixed_population=*/true);
+  auto w8 = make_bank(n, 7, /*mixed_population=*/true);
+  for (ChannelBank* bank : {&w1, &w4, &w8}) bank->set_lazy(true);
+  w1.set_strip_width(1);
+  w4.set_strip_width(4);
+  w8.set_strip_width(8);
+
+  std::vector<common::UserId> ids;
+  for (int f = 1; f <= 60; ++f) {
+    const double t = static_cast<double>(f) * kDt;
+    if (f % 10 == 0) {
+      // Bulk checkpoint: the strips chew through the accumulated
+      // heterogeneous strides; afterwards everyone is comparable.
+      for (ChannelBank* bank : {&w1, &w4, &w8}) bank->advance_all_to(t);
+      expect_users_bitwise_equal(w1, w4);
+      expect_users_bitwise_equal(w1, w8);
+    } else {
+      // Rotating, variable-length window: users accrue different strides.
+      // Only the touched users are compared mid-stream — lazy reads
+      // materialize, so comparing an untouched user would itself advance
+      // the banks (see expect_user_bitwise_equal).
+      ids.clear();
+      const int len = 1 + (f % 7);
+      for (int i = 0; i < len; ++i) {
+        ids.push_back(static_cast<common::UserId>((f + i * 3) % n));
+      }
+      for (ChannelBank* bank : {&w1, &w4, &w8}) {
+        bank->advance_users_to(ids, t);
+      }
+      for (common::UserId id : ids) {
+        expect_user_bitwise_equal(w1, w4, static_cast<std::size_t>(id));
+        expect_user_bitwise_equal(w1, w8, static_cast<std::size_t>(id));
+      }
+    }
+  }
+}
+
+TEST(LazyBank, OnReadMatchesBatchedTouch) {
+  // Declaring a frame's read set up front is an optimization only:
+  // scattered per-read materialization (here in reverse order, mid-frame)
+  // must land on exactly the same state and RNG cursors.
+  const int n = 12;
+  auto on_read = make_bank(n, 300);
+  auto batched = make_bank(n, 300);
+  on_read.set_lazy(true);
+  batched.set_lazy(true);
+  for (int f = 1; f <= 25; ++f) {
+    const double t = static_cast<double>(f) * kDt;
+    std::vector<common::UserId> touched;
+    for (int u = f % 3; u < n; u += 3) {
+      touched.push_back(static_cast<common::UserId>(u));
+    }
+    batched.advance_users_to(touched, t);
+    on_read.set_time(t);
+    for (auto it = touched.rbegin(); it != touched.rend(); ++it) {
+      ASSERT_GT(on_read.snr_linear(static_cast<std::size_t>(*it)), 0.0);
+    }
+  }
+  // Settle stragglers, then compare the whole population.
+  on_read.materialize_all();
+  batched.materialize_all();
+  expect_users_bitwise_equal(on_read, batched);
+}
+
+TEST(LazyBank, CounterAccounting) {
+  // 8 users, 10 frames: user 0 touched every frame, the rest settled once
+  // at the end. Every user-frame of evolution must be accounted: frames =
+  // 8 * 10 = 80; events = 10 (user 0) + 7 (one deferred jump each) = 17.
+  auto bank = make_bank(8, 500);
+  bank.set_lazy(true);
+  const common::UserId zero[] = {0};
+  for (int f = 1; f <= 9; ++f) {
+    bank.advance_users_to(zero, static_cast<double>(f) * kDt);
+  }
+  bank.advance_all_to(10 * kDt);
+  const auto stats = bank.lazy_stats();
+  EXPECT_EQ(stats.jump_frames, 80);
+  EXPECT_EQ(stats.jump_events, 17);
+
+  // Eager banks report stride exactly 1: events == frames.
+  auto eager = make_bank(8, 500);
+  for (int f = 1; f <= 10; ++f) {
+    eager.advance_all_to(static_cast<double>(f) * kDt);
+  }
+  const auto eager_stats = eager.lazy_stats();
+  EXPECT_EQ(eager_stats.jump_events, 80);
+  EXPECT_EQ(eager_stats.jump_frames, 80);
+}
+
+TEST(LazyBank, SharedCoeffCacheBitwiseStable) {
+  // The process-wide rho^k memo must be invisible: a bank whose irregular
+  // strides were already cached by an earlier bank (cache hits) produces
+  // exactly the realization of the bank that computed them (cache misses).
+  const std::vector<int> strides = {1, 3, 17, 64, 255, 2, 19};
+  auto run = [&](std::uint64_t seed0) {
+    auto bank = make_bank(5, seed0, /*mixed_population=*/true);
+    double t = 0.0;
+    for (int k : strides) {
+      t += static_cast<double>(k) * kDt;
+      bank.advance_all_to(t);
+    }
+    return bank;
+  };
+  const auto first = run(1234);   // warms the shared cache
+  const auto second = run(1234);  // identical schedule, cache hits
+  expect_users_bitwise_equal(first, second);
+}
+
+TEST(LazyBank, GuardsAndErrors) {
+  auto bank = make_bank(4, 800);
+  bank.set_lazy(true);
+  bank.set_time(5 * kDt);
+  EXPECT_THROW(bank.set_time(4 * kDt), std::logic_error);
+  const common::UserId bogus[] = {99};
+  EXPECT_THROW(bank.materialize_users(bogus), std::out_of_range);
+  EXPECT_THROW(bank.set_strip_width(3), std::invalid_argument);
+  // Duplicates in a touch set are fine (second materialization no-ops).
+  const common::UserId dupes[] = {0, 0, 1};
+  EXPECT_NO_THROW(bank.materialize_users(dupes));
+
+  // Eager semantics preserved: a user advanced ahead of a later bulk
+  // advance still trips the legacy backwards-time guard.
+  auto eager = make_bank(2, 900);
+  eager.advance_user_to(0, 10 * kDt);
+  EXPECT_THROW(eager.advance_all_to(5 * kDt), std::logic_error);
+}
+
+}  // namespace
+}  // namespace charisma::channel

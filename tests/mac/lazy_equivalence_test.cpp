@@ -1,0 +1,136 @@
+// Engine/world-level contract of the opt-in lazy channel (suite name is
+// load-bearing: the lazy_equivalence_smoke ctest runs
+// --gtest_filter=LazyEquivalence* in every build config, TSan/ASan
+// included). The lazy realization is pinned invariant to the SIMD strip
+// width and to the worker thread count; the eager default keeps reporting
+// a materialization stride of exactly 1.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "mac/cellular_world.hpp"
+#include "protocols/factory.hpp"
+
+namespace charisma::mac {
+namespace {
+
+ScenarioParams tiny_params(std::uint64_t seed) {
+  ScenarioParams p;
+  p.num_voice_users = 12;
+  p.num_data_users = 4;
+  p.seed = seed;
+  p.lazy_channel = true;
+  return p;
+}
+
+EngineFactory factory_for(protocols::ProtocolId id) {
+  return [id](const ScenarioParams& params) {
+    return protocols::make_protocol(id, params);
+  };
+}
+
+CellularConfig lazy_world_config(unsigned threads, std::uint64_t seed = 7) {
+  CellularConfig cfg;
+  cfg.num_cells = 3;
+  cfg.num_threads = threads;
+  cfg.params = tiny_params(seed);
+  cfg.params.channel.shadow_sigma_db = 6.0;
+  cfg.mobility.field_width_m = 1500.0;
+  cfg.mobility.field_height_m = 300.0;
+  cfg.mobility.speed_mps = common::km_per_hour(100.0);
+  cfg.handoff_hysteresis_db = 2.0;
+  return cfg;
+}
+
+TEST(LazyEquivalence, StripWidthInvariantPerProtocol) {
+  // Every protocol's lazy run must be independent of the materialization
+  // kernel's strip width — the full-engine restatement of the bank-level
+  // StripWidthsBitIdentical property, covering each protocol's touch-set
+  // hooks and on-read stragglers.
+  for (auto id : protocols::all_protocols()) {
+    SCOPED_TRACE(protocols::protocol_name(id));
+    auto run = [&](int width) {
+      auto engine = protocols::make_protocol(id, tiny_params(31));
+      engine->channel_bank().set_strip_width(width);
+      return engine->run(0.3, 1.0);
+    };
+    const auto scalar = run(1);
+    ASSERT_GT(scalar.frames, 0);
+    ASSERT_GT(scalar.voice_generated, 0);
+    EXPECT_TRUE(scalar == run(8));
+    EXPECT_TRUE(scalar == run(4));
+  }
+}
+
+TEST(LazyEquivalence, LazyWorldSerialVsParallel) {
+  // Thread-count invariance survives lazy materialization: the per-cell
+  // banks stay share-nothing and each user's innovation stream is private,
+  // so who materializes when cannot depend on scheduling.
+  CellularWorld serial(lazy_world_config(1),
+                       factory_for(protocols::ProtocolId::kCharisma));
+  serial.run(0.4, 1.2);
+  const auto reference = serial.aggregate_metrics();
+  ASSERT_GT(reference.voice_generated, 0);
+  for (unsigned threads : {2u, 4u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    CellularWorld parallel(lazy_world_config(threads),
+                           factory_for(protocols::ProtocolId::kCharisma));
+    parallel.run(0.4, 1.2);
+    EXPECT_EQ(serial.handoffs(), parallel.handoffs());
+    EXPECT_TRUE(reference == parallel.aggregate_metrics());
+  }
+}
+
+TEST(LazyEquivalence, LazyWorldWithBarringSerialVsParallel) {
+  // The closed-loop barring controller adds channel reads on the
+  // contention path; the guarantee must hold with it engaged too.
+  auto make = [](unsigned threads) {
+    auto cfg = lazy_world_config(threads, /*seed=*/17);
+    cfg.params.barring.enabled = true;
+    return cfg;
+  };
+  CellularWorld serial(make(1), factory_for(protocols::ProtocolId::kRmav));
+  serial.run(0.4, 1.2);
+  const auto reference = serial.aggregate_metrics();
+  ASSERT_GT(reference.voice_generated, 0);
+  CellularWorld parallel(make(3), factory_for(protocols::ProtocolId::kRmav));
+  parallel.run(0.4, 1.2);
+  EXPECT_TRUE(reference == parallel.aggregate_metrics());
+}
+
+TEST(LazyEquivalence, LazyVsEagerSanity) {
+  // Lazy is a different (equally exact) realization, so metrics are not
+  // bitwise comparable — but a fixed-cadence protocol generates traffic on
+  // the same frame boundaries either way, and only lazy may skip
+  // user-frames.
+  auto lazy_params = tiny_params(11);
+  auto eager_params = tiny_params(11);
+  eager_params.lazy_channel = false;
+
+  auto lazy =
+      protocols::make_protocol(protocols::ProtocolId::kDtdmaFr, lazy_params);
+  auto eager =
+      protocols::make_protocol(protocols::ProtocolId::kDtdmaFr, eager_params);
+  const auto& lm = lazy->run(0.3, 1.5);
+  const auto& em = eager->run(0.3, 1.5);
+
+  ASSERT_GT(em.voice_generated, 0);
+  EXPECT_EQ(lm.frames, em.frames);
+  EXPECT_EQ(lm.measured_time, em.measured_time);
+  EXPECT_EQ(lm.voice_generated, em.voice_generated);
+  EXPECT_EQ(lm.data_generated, em.data_generated);
+
+  EXPECT_EQ(em.users_skipped_frames, 0);
+  EXPECT_EQ(em.mean_materialization_stride(), 1.0);
+  // Eager accounting closes exactly: one jump per user per frame.
+  EXPECT_EQ(em.users_advanced_frames,
+            static_cast<std::int64_t>(em.frames) *
+                eager_params.total_users());
+  EXPECT_GT(lm.users_advanced_frames, 0);
+  EXPECT_GT(lm.users_skipped_frames, 0);
+  EXPECT_GT(lm.mean_materialization_stride(), 1.0);
+}
+
+}  // namespace
+}  // namespace charisma::mac
