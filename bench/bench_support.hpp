@@ -8,6 +8,8 @@
 //   CHARISMA_BENCH_THREADS   worker threads (default: hardware concurrency)
 #pragma once
 
+#include <sys/resource.h>
+
 #include <complex>
 #include <cstdio>
 #include <cstdlib>
@@ -100,6 +102,39 @@ inline double env_double(const char* name, double fallback) {
 inline int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Like env_int but through KeyValueConfig::parse_count, so population
+/// knobs accept magnitude suffixes: CHARISMA_BENCH_WORLD_USERS=250k / 1M.
+inline long long env_count(const char* name, long long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? common::KeyValueConfig::parse_count(name, v)
+                      : fallback;
+}
+
+/// Peak resident set of this process so far, in bytes (Linux reports
+/// ru_maxrss in kilobytes). Monotone — use current_rss_bytes for deltas.
+inline long long peak_rss_bytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<long long>(usage.ru_maxrss) * 1024;
+}
+
+/// Current resident set in bytes via /proc/self/status (0 where absent).
+/// Unlike the peak this can fall after frees, so before/after deltas
+/// around a world's construction give its footprint.
+inline long long current_rss_bytes() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      long long kb = 0;
+      fields >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
 }
 
 inline experiment::RunSpec standard_spec(int default_reps = 2) {

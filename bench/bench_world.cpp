@@ -16,6 +16,19 @@
 //                                 (default 1,2,4,<hardware>)
 //   CHARISMA_BENCH_WORLD_PROTOCOL protocol id (default dtdma_fr)
 //   CHARISMA_BENCH_JSON_DIR       where BENCH_world.json lands (default .)
+//
+// Memory stage (sparse presence, PR 8): one large hexagonal world with a
+// finite pilot-band radius, measured for resident bytes per user against a
+// small dense (band=all-cells) calibration world of the same geometry.
+// Timing on a 1-CPU container says little; the bytes-per-user ratio is the
+// claim.
+//   CHARISMA_BENCH_WORLD_USERS    total users in the memory stage; accepts
+//                                 k/M suffixes ("250k", "1M"); 0 skips the
+//                                 stage (default 100k, 4:1 voice:data)
+//   CHARISMA_BENCH_WORLD_MEMORY_CELLS  hex cells (default 91, a full ring)
+//   CHARISMA_BENCH_WORLD_BAND     pilot-band radius in metres (default
+//                                 1200 = 1.2x the 1000 m site spacing, a
+//                                 7-cell band)
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -75,6 +88,63 @@ struct Point {
   double speedup;        // vs threads=1 at the same cell count
   bool deterministic;    // full aggregate metrics match the serial run
 };
+
+// A hexagonal world for the memory stage: interference on, users spread
+// over the whole cluster, band radius as given (0 = dense).
+mac::CellularConfig memory_config(int cells, int voice, int data,
+                                  double band_radius_m) {
+  mac::CellularConfig cfg;
+  cfg.num_cells = cells;
+  cfg.num_threads = 1;
+  cfg.params.num_voice_users = voice;
+  cfg.params.num_data_users = data;
+  cfg.params.seed = 2024;
+  cfg.params.channel.mean_snr_db = 26.0;
+  cfg.params.channel.shadow_sigma_db = 6.0;
+  cfg.layout.kind = mac::SiteLayoutConfig::Kind::kHex;
+  cfg.layout.site_spacing_m = 1000.0;
+  cfg.layout.reuse_factor = 3;
+  cfg.interference_activity = 0.4;
+  cfg.pilot_band_radius_m = band_radius_m;
+  const auto [width, height] =
+      mac::SiteLayout::hex_field_extent(cells, cfg.layout.site_spacing_m);
+  cfg.mobility.field_width_m = width;
+  cfg.mobility.field_height_m = height;
+  cfg.mobility.speed_mps = common::km_per_hour(90.0);
+  cfg.handoff_hysteresis_db = 4.0;
+  return cfg;
+}
+
+struct MemoryProbe {
+  long long rss_bytes = 0;   // construction + short-run footprint
+  double band_cells_mean = 0.0;
+  int users = 0;
+};
+
+// Builds the world, runs a couple of epochs (mobility moves, bands churn,
+// traffic of attached users materializes), and returns the RSS delta while
+// the world is alive. The delta can be understated by allocator reuse of
+// earlier frees, so callers should probe smaller worlds first.
+MemoryProbe probe_memory(const mac::CellularConfig& cfg,
+                         protocols::ProtocolId protocol) {
+  const long long before = bench::current_rss_bytes();
+  mac::CellularWorld world(cfg, [&](const mac::ScenarioParams& p) {
+    return protocols::make_protocol(protocol, p);
+  });
+  world.run(0.0, 2.0 * cfg.decision_interval);
+  MemoryProbe probe;
+  probe.rss_bytes = bench::current_rss_bytes() - before;
+  probe.users = cfg.params.num_voice_users + cfg.params.num_data_users;
+  std::size_t band_total = 0;
+  for (int u = 0; u < probe.users; ++u) {
+    band_total += world.band_cells(static_cast<common::UserId>(u)).size();
+  }
+  probe.band_cells_mean =
+      probe.users > 0
+          ? static_cast<double>(band_total) / static_cast<double>(probe.users)
+          : 0.0;
+  return probe;
+}
 
 // The bit-identical cross-check is ProtocolMetrics::operator== — the same
 // exact, every-field equality the determinism test uses.
@@ -194,12 +264,67 @@ int main() {
     std::cout << '\n';
   }
 
+  // --- Memory stage: sparse presence bytes/user vs a dense calibration ---
+  const long long mem_users =
+      bench::env_count("CHARISMA_BENCH_WORLD_USERS", 100'000);
+  const int mem_cells =
+      bench::env_int("CHARISMA_BENCH_WORLD_MEMORY_CELLS", 91);
+  const double band_radius_m =
+      bench::env_double("CHARISMA_BENCH_WORLD_BAND", 1200.0);
+  std::ostringstream memory_fields;
+  if (mem_users > 0) {
+    const int total = static_cast<int>(mem_users);
+    const int mem_voice = total - total / 5;
+    const int mem_data = total - mem_voice;
+    // Dense calibration first: a band=all-cells world at 1/50 the
+    // population calibrates what dense state costs per user at this cell
+    // count (the full population would need cells/band times the sparse
+    // footprint — tens of GB). Probing small-before-large bounds the
+    // allocator-reuse error: the sparse probe can hide at most the freed
+    // calibration footprint, ~2% of its own.
+    const int cal_users = std::max(200, total / 50);
+    const int cal_voice = cal_users - cal_users / 5;
+    const auto dense_probe = probe_memory(
+        memory_config(mem_cells, cal_voice, cal_users - cal_voice, 0.0),
+        protocol);
+    const auto sparse_probe = probe_memory(
+        memory_config(mem_cells, mem_voice, mem_data, band_radius_m),
+        protocol);
+    const double dense_bpu =
+        static_cast<double>(dense_probe.rss_bytes) / dense_probe.users;
+    const double sparse_bpu =
+        static_cast<double>(sparse_probe.rss_bytes) / sparse_probe.users;
+    const double ratio = sparse_bpu > 0.0 ? dense_bpu / sparse_bpu : 0.0;
+    std::cout << "\nmemory (sparse presence): " << total << " users, "
+              << mem_cells << " hex cells, band radius " << band_radius_m
+              << " m (mean " << common::TextTable::num(
+                     sparse_probe.band_cells_mean, 2)
+              << " cells/user)\n  sparse: "
+              << common::TextTable::num(sparse_bpu / 1024.0, 1)
+              << " KiB/user   dense model (" << dense_probe.users
+              << "-user calibration, " << common::TextTable::num(
+                     dense_probe.band_cells_mean, 0)
+              << " cells/user): "
+              << common::TextTable::num(dense_bpu / 1024.0, 1)
+              << " KiB/user   ratio "
+              << common::TextTable::num(ratio, 2) << "x\n";
+    memory_fields << ",\n      \"peak_rss_bytes\": " << bench::peak_rss_bytes()
+                  << ",\n      \"memory\": {\"users\": " << total
+                  << ", \"cells\": " << mem_cells
+                  << ", \"band_radius_m\": " << band_radius_m
+                  << ", \"band_cells_mean\": " << sparse_probe.band_cells_mean
+                  << ", \"bytes_per_user\": " << sparse_bpu
+                  << ", \"dense_model_bytes_per_user\": " << dense_bpu
+                  << ", \"dense_over_sparse_ratio\": " << ratio << "}";
+  }
+
   std::ostringstream fields;
   fields << "\"protocol\": \"" << protocols::protocol_name(protocol)
          << "\",\n      \"voice_users\": " << voice
          << ",\n      \"data_users\": " << data
          << ",\n      \"measure_s\": " << measure_s
          << ",\n      \"hardware_concurrency\": " << hardware
+         << memory_fields.str()
          << ",\n      \"all_thread_counts_bit_identical_to_serial\": "
          << (all_deterministic ? "true" : "false")
          << ",\n      \"best_speedup_cells4plus_threads4plus\": "

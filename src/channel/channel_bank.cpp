@@ -67,6 +67,7 @@ void ChannelBank::reserve(std::size_t users) {
   shadow_db_.reserve(users);
   shadow_linear_.reserve(users);
   dt_index_.reserve(users);
+  vacant_.reserve(users);
 }
 
 std::size_t ChannelBank::group_for(double fade_rho, double shadow_rho) {
@@ -80,8 +81,8 @@ std::size_t ChannelBank::group_for(double fade_rho, double shadow_rho) {
   return groups_.size() - 1;
 }
 
-std::size_t ChannelBank::add_user(const ChannelConfig& config,
-                                  common::RngStream rng) {
+namespace {
+void validate_channel_config(const ChannelConfig& config) {
   if (config.diversity_branches < 1) {
     throw std::invalid_argument("ChannelBank: need >= 1 diversity branch");
   }
@@ -92,6 +93,12 @@ std::size_t ChannelBank::add_user(const ChannelConfig& config,
     throw std::invalid_argument(
         "ChannelBank: shadow_tau and sample_interval must be > 0");
   }
+}
+}  // namespace
+
+std::size_t ChannelBank::add_user(const ChannelConfig& config,
+                                  common::RngStream rng) {
+  validate_channel_config(config);
   const double fade_rho =
       ar_rho_for(config.doppler_hz, config.sample_interval);
   const double shadow_rho =
@@ -109,7 +116,6 @@ std::size_t ChannelBank::add_user(const ChannelConfig& config,
                               static_cast<double>(config.diversity_branches));
   shadow_sigma_db_.push_back(config.shadow_sigma_db);
   dt_.push_back(config.sample_interval);
-  step_.push_back(0);
   group_.push_back(group_for(fade_rho, shadow_rho));
 
   // Register the sample interval with the lazy clock: one floor() per
@@ -124,6 +130,11 @@ std::size_t ChannelBank::add_user(const ChannelConfig& config,
         std::floor(bank_time_ / config.sample_interval + 1e-9)));
   }
   dt_index_.push_back(static_cast<std::uint32_t>(di));
+  // A row added mid-run starts stationary *now* — at the clock's current
+  // step for its dt — not at step 0 (which would turn its first touch into
+  // one giant catch-up jump). At construction time both are step 0, so the
+  // historical sequences are unchanged.
+  step_.push_back(dt_targets_[di]);
 
   // The user's RngStream seeds its compact per-user innovation engine.
   common::SplitMix64 fast(rng.engine()());
@@ -145,7 +156,107 @@ std::size_t ChannelBank::add_user(const ChannelConfig& config,
   shadow_db_.push_back(shadow);
   shadow_linear_.push_back(common::from_db(shadow));
   rng_.push_back(fast);
+  vacant_.push_back(0);
+  active_dirty_ = true;
   return user;
+}
+
+std::size_t ChannelBank::acquire_user(const ChannelConfig& config,
+                                      common::RngStream rng) {
+  // LIFO scan for a row whose branch storage fits; the ragged fade arrays
+  // cannot be resliced in place, so a mismatched branch count appends.
+  std::size_t pick = free_slots_.size();
+  for (std::size_t i = free_slots_.size(); i-- > 0;) {
+    if (branch_count_[free_slots_[i]] == config.diversity_branches) {
+      pick = i;
+      break;
+    }
+  }
+  if (pick == free_slots_.size()) return add_user(config, rng);
+
+  validate_channel_config(config);
+  const double fade_rho =
+      ar_rho_for(config.doppler_hz, config.sample_interval);
+  const double shadow_rho =
+      std::exp(-config.sample_interval / config.shadow_tau);
+
+  const std::size_t user = free_slots_[pick];
+  free_slots_.erase(free_slots_.begin() + static_cast<std::ptrdiff_t>(pick));
+  configs_[user] = config;
+  mean_snr_linear_[user] = common::from_db(config.mean_snr_db);
+  mean_snr_db_[user] = config.mean_snr_db;
+  interference_db_[user] = 0.0;
+  interference_linear_[user] = 1.0;
+  inv_branch_count_[user] =
+      1.0 / static_cast<double>(config.diversity_branches);
+  shadow_sigma_db_[user] = config.shadow_sigma_db;
+  dt_[user] = config.sample_interval;
+  group_[user] = group_for(fade_rho, shadow_rho);
+
+  std::size_t di = 0;
+  while (di < distinct_dts_.size() &&
+         distinct_dts_[di] != config.sample_interval) {
+    ++di;
+  }
+  if (di == distinct_dts_.size()) {
+    distinct_dts_.push_back(config.sample_interval);
+    dt_targets_.push_back(static_cast<std::int64_t>(
+        std::floor(bank_time_ / config.sample_interval + 1e-9)));
+  }
+  dt_index_[user] = static_cast<std::uint32_t>(di);
+  step_[user] = dt_targets_[di];  // stationary at the acquisition instant
+
+  // Identical re-seed + stationary-start draw order to add_user.
+  common::SplitMix64 fast(rng.engine()());
+  const auto& zig = common::detail::ziggurat_tables();
+  const std::size_t begin = branch_begin_[user];
+  double power = 0.0;
+  for (int b = 0; b < config.diversity_branches; ++b) {
+    const double re = kHalfPower * fast.normal(zig);
+    const double im = kHalfPower * fast.normal(zig);
+    fade_re_[begin + static_cast<std::size_t>(b)] = re;
+    fade_im_[begin + static_cast<std::size_t>(b)] = im;
+    power += re * re + im * im;
+  }
+  fading_power_[user] =
+      power / static_cast<double>(config.diversity_branches);
+  const double shadow = config.shadow_sigma_db * fast.normal(zig);
+  shadow_db_[user] = shadow;
+  shadow_linear_[user] = common::from_db(shadow);
+  rng_[user] = fast;
+  vacant_[user] = 0;
+  --vacant_count_;
+  active_dirty_ = true;
+  return user;
+}
+
+void ChannelBank::release_user(std::size_t slot) {
+  if (slot >= configs_.size()) {
+    throw std::out_of_range("ChannelBank::release_user: bad slot");
+  }
+  if (vacant_[slot]) {
+    throw std::logic_error("ChannelBank::release_user: slot already vacant");
+  }
+  vacant_[slot] = 1;
+  ++vacant_count_;
+  free_slots_.push_back(static_cast<std::uint32_t>(slot));
+  active_dirty_ = true;
+}
+
+void ChannelBank::refresh_active() const {
+  const std::size_t n = configs_.size();
+  if (!active_dirty_ && scratch_ids_.size() == n - vacant_count_) return;
+  scratch_ids_.clear();
+  scratch_ids_.reserve(n - vacant_count_);
+  if (vacant_count_ == 0) {
+    scratch_ids_.resize(n);
+    std::iota(scratch_ids_.begin(), scratch_ids_.end(), 0u);
+  } else {
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!vacant_[u]) scratch_ids_.push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+  active_dirty_ = false;
 }
 
 ChannelBank::JumpCoeffs ChannelBank::compute_coeffs(double fade_rho,
@@ -433,11 +544,11 @@ void ChannelBank::materialize_batch(const Index* ids, std::size_t n) {
 }
 
 void ChannelBank::materialize_all() {
-  const std::size_t n = configs_.size();
-  if (scratch_ids_.size() != n) {
-    scratch_ids_.resize(n);
-    std::iota(scratch_ids_.begin(), scratch_ids_.end(), 0u);
-  }
+  // "All" means all *active* rows: vacant rows must never advance (their
+  // next acquire re-seeds them) nor count toward the jump accounting. With
+  // no vacancies the batch is the historical full iota, bit for bit.
+  refresh_active();
+  const std::size_t n = scratch_ids_.size();
   switch (strip_width_) {
     case 4:
       materialize_batch<4>(scratch_ids_.data(), n);
@@ -503,6 +614,17 @@ void ChannelBank::set_mean_snr_db_all(std::span<const double> db) {
   if (db.size() < n) {
     throw std::invalid_argument("ChannelBank::set_mean_snr_db_all: short span");
   }
+  if (vacant_count_ != 0) {
+    // Sparse bank: db[slot] is defined only for active slots; vacant rows
+    // keep whatever they held (re-seeded on acquire, never read).
+    refresh_active();
+    for (const std::uint32_t u : scratch_ids_) {
+      configs_[u].mean_snr_db = db[u];
+      mean_snr_db_[u] = db[u];
+      mean_snr_linear_[u] = common::from_db(db[u]);
+    }
+    return;
+  }
   for (std::size_t u = 0; u < n; ++u) {
     configs_[u].mean_snr_db = db[u];
     mean_snr_db_[u] = db[u];
@@ -521,6 +643,14 @@ void ChannelBank::set_interference_db_all(std::span<const double> db) {
   if (db.size() < n) {
     throw std::invalid_argument(
         "ChannelBank::set_interference_db_all: short span");
+  }
+  if (vacant_count_ != 0) {
+    refresh_active();
+    for (const std::uint32_t u : scratch_ids_) {
+      interference_db_[u] = db[u];
+      interference_linear_[u] = common::from_db(-db[u]);
+    }
+    return;
   }
   for (std::size_t u = 0; u < n; ++u) {
     interference_db_[u] = db[u];
@@ -553,6 +683,16 @@ void ChannelBank::snr_db_all(std::span<double> out) const {
   const double* fade = fading_power_.data();
   const double* interf = interference_db_.data();
   double* dst = out.data();
+  if (vacant_count_ != 0) {
+    // Vacant rows keep whatever out[slot] already held — the caller owns
+    // the slot-indexed buffer and only reads active entries.
+    refresh_active();
+    for (const std::uint32_t u : scratch_ids_) {
+      dst[u] = mean_db[u] + shadow[u] + kTenOverLn10 * std::log(fade[u]) -
+               interf[u];
+    }
+    return;
+  }
   for (std::size_t u = 0; u < n; ++u) {
     // Subtracting the interference penalty last keeps the interference-free
     // value (penalty 0.0) bit-identical to the pre-SINR pilot plane.

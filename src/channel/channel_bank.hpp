@@ -69,8 +69,10 @@ struct ChannelConfig {
 };
 
 /// SoA bank of per-user fading + shadowing processes stepped lazily on each
-/// user's sample grid. Users are appended once (add_user) and addressed by
-/// the returned index; UserChannel wraps one index as a per-user view.
+/// user's sample grid. Rows are either appended once (add_user) or cycled
+/// through the acquire/release free-list (sparse presence); either way the
+/// caller addresses a row by the returned slot index and UserChannel wraps
+/// one slot as a per-user view.
 class ChannelBank {
  public:
   ChannelBank() = default;
@@ -82,6 +84,30 @@ class ChannelBank {
   /// user's realization depends only on its own stream — not on the
   /// population around it.
   std::size_t add_user(const ChannelConfig& config, common::RngStream rng);
+
+  /// add_user with slot recycling: reuses a released row whose branch
+  /// storage fits `config` (LIFO over the free-list, so serial and
+  /// parallel worlds that release in the same coordinator order reuse the
+  /// same slots), else appends. The reused row is re-seeded from `rng`
+  /// exactly as add_user would seed a fresh one — same stationary-start
+  /// draw order — and starts at the bank clock's current step for its
+  /// sample interval, so what a row materializes depends only on the
+  /// stream it was given and on when it was acquired, never on which slot
+  /// the free-list happened to hand back. With an empty free-list this is
+  /// add_user bit for bit.
+  std::size_t acquire_user(const ChannelConfig& config, common::RngStream rng);
+
+  /// Returns `slot` to the free-list. The row's state stays in place but
+  /// is excluded from every whole-bank operation (materialize_all,
+  /// set_*_all, snr_db_all), so vacant rows never advance, draw, or count
+  /// toward materialization accounting. Double release throws.
+  void release_user(std::size_t slot);
+
+  /// Slots currently backing a live user (size() minus the free-list).
+  std::size_t active_count() const { return configs_.size() - vacant_count_; }
+
+  /// True when `slot` is on the free-list.
+  bool vacant(std::size_t slot) const { return vacant_[slot] != 0; }
 
   std::size_t size() const { return configs_.size(); }
 
@@ -336,7 +362,19 @@ class ChannelBank {
   std::vector<common::Time> distinct_dts_;
   std::vector<std::int64_t> dt_targets_;
   std::vector<std::uint32_t> dt_index_;
-  std::vector<std::uint32_t> scratch_ids_;  // materialize_all's iota batch
+  // Ascending active-slot list fed to the batch kernels and the bulk
+  // loops. With no vacancies it is the iota over all slots (the historical
+  // materialize_all batch, bit for bit); rebuilt lazily after any
+  // add/acquire/release. Mutable: refreshing it from a const read path is
+  // the same logical-constness escape as ensure_user.
+  mutable std::vector<std::uint32_t> scratch_ids_;
+  mutable bool active_dirty_ = false;
+  void refresh_active() const;
+
+  // ---- Row lifecycle (sparse presence) ----
+  std::vector<std::uint32_t> free_slots_;  // LIFO
+  std::vector<char> vacant_;               // 1 = on the free-list
+  std::size_t vacant_count_ = 0;
 
   // Materialization accounting (see lazy_stats).
   std::int64_t jump_events_ = 0;

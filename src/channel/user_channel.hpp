@@ -55,6 +55,11 @@ class UserChannel {
 
   const ChannelConfig& config() const { return bank_->config(index_); }
 
+  /// The bank slot this view addresses — the engine's storage index for
+  /// band-resident users (slot == user id only in a full, never-released
+  /// population).
+  std::size_t index() const { return index_; }
+
  private:
   std::unique_ptr<ChannelBank> owned_;  // null when viewing a shared bank
   ChannelBank* bank_;

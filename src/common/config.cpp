@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <stdexcept>
 
 namespace charisma::common {
@@ -58,6 +59,44 @@ std::optional<int> KeyValueConfig::get_int(const std::string& key) const {
   }
 }
 
+long long KeyValueConfig::parse_count(const std::string& key,
+                                      const std::string& value) {
+  const auto fail = [&](const char* what) {
+    throw std::invalid_argument("KeyValueConfig: value for '" + key +
+                                "' is not a count (" + what + "): '" + value +
+                                "'");
+  };
+  double number = 0.0;
+  std::size_t pos = 0;
+  try {
+    number = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    fail("not a number");
+  }
+  double multiplier = 1.0;
+  if (pos < value.size()) {
+    const std::string suffix = value.substr(pos);
+    if (suffix == "k" || suffix == "K") {
+      multiplier = 1e3;
+    } else if (suffix == "m" || suffix == "M") {
+      multiplier = 1e6;
+    } else {
+      fail("unknown suffix");
+    }
+  }
+  const double scaled = number * multiplier;
+  const long long rounded = std::llround(scaled);
+  if (scaled != static_cast<double>(rounded)) fail("not an integer");
+  return rounded;
+}
+
+std::optional<long long> KeyValueConfig::get_count(
+    const std::string& key) const {
+  auto s = get_string(key);
+  if (!s) return std::nullopt;
+  return parse_count(key, *s);
+}
+
 std::optional<bool> KeyValueConfig::get_bool(const std::string& key) const {
   auto s = get_string(key);
   if (!s) return std::nullopt;
@@ -87,6 +126,12 @@ int KeyValueConfig::get_int_or(const std::string& key, int fallback) const {
 
 bool KeyValueConfig::get_bool_or(const std::string& key, bool fallback) const {
   auto v = get_bool(key);
+  return v ? *v : fallback;
+}
+
+long long KeyValueConfig::get_count_or(const std::string& key,
+                                       long long fallback) const {
+  auto v = get_count(key);
   return v ? *v : fallback;
 }
 

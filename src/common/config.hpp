@@ -25,11 +25,24 @@ class KeyValueConfig {
   std::optional<int> get_int(const std::string& key) const;
   std::optional<bool> get_bool(const std::string& key) const;
 
+  /// Like get_int but accepts magnitude suffixes for population-sized
+  /// values: "250k" = 250'000, "1M" = 1'000'000 (k/K and m/M). The numeric
+  /// part may be fractional ("2.5k" = 2500); the scaled value must land on
+  /// an integer. Throws std::invalid_argument naming `key` on an unknown
+  /// suffix or malformed number.
+  std::optional<long long> get_count(const std::string& key) const;
+
   double get_double_or(const std::string& key, double fallback) const;
   int get_int_or(const std::string& key, int fallback) const;
   bool get_bool_or(const std::string& key, bool fallback) const;
+  long long get_count_or(const std::string& key, long long fallback) const;
   std::string get_string_or(const std::string& key,
                             const std::string& fallback) const;
+
+  /// The suffix parser behind get_count, usable on raw strings (bench env
+  /// knobs). `key` only labels the exception message.
+  static long long parse_count(const std::string& key,
+                               const std::string& value);
 
   /// Throws std::invalid_argument naming the first key (in sorted order)
   /// that is not in `known`. Front-ends call this after parsing argv so a

@@ -53,6 +53,7 @@ class CharismaProtocol : public mac::ProtocolEngine {
  protected:
   common::Time process_frame() override;
   void on_user_detached(common::UserId id) override;
+  void on_user_attached(common::UserId id) override;
   std::int64_t pending_request_count() const override {
     return static_cast<std::int64_t>(pool_.size());
   }

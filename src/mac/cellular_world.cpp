@@ -1,6 +1,7 @@
 #include "mac/cellular_world.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -52,6 +53,9 @@ CellularWorld::CellularWorld(const CellularConfig& config,
       cell_params.channel.shadow_tau =
           config_.shadow_decorrelation_m / config_.mobility.speed_mps;
     }
+    // Engines start empty; the world admits each cell's pilot band below
+    // (update_bands), so per-cell state scales with band occupancy.
+    cell_params.defer_population = true;
     auto engine = factory(cell_params);
     if (!engine) {
       throw std::invalid_argument("CellularWorld: factory returned null");
@@ -82,13 +86,14 @@ CellularWorld::CellularWorld(const CellularConfig& config,
   }
 
   const auto users = static_cast<std::size_t>(config_.params.total_users());
+  site_index_ = SiteIndex(layout_, config_.pilot_band_radius_m);
   attached_.assign(users, 0);
-  pilot_db_.assign(users * static_cast<std::size_t>(config_.num_cells), 0.0);
-  snr_scratch_.assign(pilot_db_.size(), 0.0);
+  band_.assign(users, {});
+  plane_rows_.assign(static_cast<std::size_t>(config_.num_cells), {});
+  attach_counts_.assign(static_cast<std::size_t>(config_.num_cells), 0);
   cell_load_.assign(static_cast<std::size_t>(config_.num_cells), 0.0);
   if (interference_enabled()) {
-    interference_scratch_.assign(pilot_db_.size(), 0.0);
-    interference_contrib_.assign(pilot_db_.size(), 0.0);
+    interference_rows_.assign(static_cast<std::size_t>(config_.num_cells), {});
   }
   if (!config_.outages.empty()) {
     dark_.assign(static_cast<std::size_t>(config_.num_cells), 0);
@@ -96,17 +101,88 @@ CellularWorld::CellularWorld(const CellularConfig& config,
     update_outage_flags(0.0);
     prev_dark_ = dark_;  // no recovery transition at t = 0
   }
-  // The first pilot snapshot sees zero loads (nobody is attached yet);
-  // initialize_attachments then seeds the loads the first epoch uses.
+  // Admit the initial bands (attachment does not exist yet, so geometry
+  // alone decides membership), then take the first pilot snapshot — it
+  // sees zero loads (nobody is attached yet); initialize_attachments then
+  // seeds the loads the first epoch uses.
+  update_bands(/*include_attached=*/false);
+  resize_plane_rows();
   update_snr_planes();
   initialize_attachments();
   update_cell_loads();
 }
 
 int CellularWorld::attached_count(int c) const {
-  int n = 0;
-  for (const int cell : attached_) n += cell == c ? 1 : 0;
+  const int n = attach_counts_.at(static_cast<std::size_t>(c));
+#ifndef NDEBUG
+  int scan = 0;
+  for (const int cell : attached_) scan += cell == c ? 1 : 0;
+  assert(scan == n && "attach_counts_ out of sync with attached_");
+#endif
   return n;
+}
+
+std::vector<int> CellularWorld::band_cells(common::UserId user) const {
+  std::vector<int> out;
+  const auto& band = band_.at(static_cast<std::size_t>(user));
+  out.reserve(band.size());
+  for (const BandPilot& e : band) out.push_back(e.cell);
+  return out;
+}
+
+void CellularWorld::update_bands(bool include_attached) {
+  // Coordinator step, user-id order throughout: every engine sees admits
+  // and releases in the same deterministic sequence regardless of thread
+  // count, so the banks' free lists — and with them every later draw —
+  // are bit-identical between serial and parallel runs.
+  const int users = config_.params.total_users();
+  for (int u = 0; u < users; ++u) {
+    auto& band = band_[static_cast<std::size_t>(u)];
+    cell_scratch_.clear();
+    site_index_.cells_near(mobility_.position(u), cell_scratch_);
+    if (include_attached) {
+      // The attached cell is pinned into the band whatever the geometry
+      // says: presence must never be released out from under the user.
+      const int a = attached_[static_cast<std::size_t>(u)];
+      const auto it =
+          std::lower_bound(cell_scratch_.begin(), cell_scratch_.end(), a);
+      if (it == cell_scratch_.end() || *it != a) cell_scratch_.insert(it, a);
+    }
+    // Two-pointer diff old band vs. new cell set (both ascending).
+    band_scratch_.clear();
+    std::size_t i = 0;
+    const auto uid = static_cast<common::UserId>(u);
+    for (const int c : cell_scratch_) {
+      while (i < band.size() && band[i].cell < c) {
+        cells_[static_cast<std::size_t>(band[i].cell)]->band_release(uid);
+        ++i;
+      }
+      if (i < band.size() && band[i].cell == c) {
+        band_scratch_.push_back(band[i]);  // staying: keep the filter state
+        ++i;
+      } else {
+        MobileUser& mu =
+            cells_[static_cast<std::size_t>(c)]->band_admit(uid, false);
+        band_scratch_.push_back(BandPilot{
+            c, static_cast<std::uint32_t>(mu.channel().index()), 0.0, true});
+      }
+    }
+    while (i < band.size()) {
+      cells_[static_cast<std::size_t>(band[i].cell)]->band_release(uid);
+      ++i;
+    }
+    band.swap(band_scratch_);
+  }
+}
+
+void CellularWorld::resize_plane_rows() {
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const std::size_t rows = cells_[c]->channel_bank().size();
+    if (plane_rows_[c].size() < rows) plane_rows_[c].resize(rows, 0.0);
+    if (interference_enabled() && interference_rows_[c].size() < rows) {
+      interference_rows_[c].resize(rows, 0.0);
+    }
+  }
 }
 
 bool CellularWorld::is_dark(int c, common::Time t) const {
@@ -140,90 +216,68 @@ void CellularWorld::for_each_cell(const std::function<void(std::size_t)>& fn) {
 }
 
 void CellularWorld::update_cell_snr_plane(int c) {
-  // Share-nothing per-cell task: touches only this cell's bank and rows
-  // of the scratch planes, reading the (quiescent) mobility positions and
-  // the coordinator-frozen load vector. The SNR row first stages the
-  // path-loss dB plane fed to set_mean_snr_db_all. With the interference
-  // plane on, the task also stages this cell's *own* linear interference
-  // contribution at every user position — load × INR, one from_db per
-  // (user, cell) instead of one per (user, interferer) in the summing
-  // phase — and the pilot snapshot moves to finalize_cell_interference,
-  // after the barrier freezes every cell's contribution row.
-  const std::size_t users = attached_.size();
+  // Share-nothing per-cell task: touches only this cell's bank and plane
+  // rows, reading the (quiescent) mobility positions, band memberships
+  // and the coordinator-frozen load vector. Work is O(band), never
+  // users × cells. With the interference plane on, each member's SINR
+  // penalty is computed directly here — each (user, interferer) term
+  // recomputed in place with the dense world's exact expressions in the
+  // same ascending order, so collapsing its stage-then-sum two-phase
+  // split changes no bits.
+  auto& cell = *cells_[static_cast<std::size_t>(c)];
+  const auto& band = cell.band();
+  auto& bank = cell.channel_bank();
+  const std::size_t rows = bank.size();
   const bool interf = interference_enabled();
-  double* row = snr_scratch_.data() + static_cast<std::size_t>(c) * users;
-  double* contrib = interf ? interference_contrib_.data() +
-                                 static_cast<std::size_t>(c) * users
-                           : nullptr;
-  const double load = interf ? cell_load_[static_cast<std::size_t>(c)] : 0.0;
-  for (std::size_t u = 0; u < users; ++u) {
-    const Vec2 pos = mobility_.position(static_cast<int>(u));
-    const double d_sq =
-        std::max(layout_.distance_sq(pos, c), min_distance_sq_m2_);
-    row[u] = path_loss_c_db_ - path_loss_half_k_ * std::log(d_sq);
-    if (interf) {
-      contrib[u] = load * common::from_db(row[u]);
-    }
-  }
-  auto& bank = cells_[static_cast<std::size_t>(c)]->channel_bank();
-  bank.set_mean_snr_db_all({row, users});
-  if (!interf) {
-    // Pilot snapshot reads every user, so under a lazy bank the epoch is a
-    // full re-anchor: snr_db_all materializes the whole population, which
-    // bounds any user's deferred-jump stride by the epoch period.
-    bank.snr_db_all({row, users});
-    if (cell_dark(c)) {
-      // The bank was fed the true plane (its fading state and draw order
-      // must not depend on the outage schedule); only the *broadcast*
-      // pilot vanishes while the transmitter is dark.
-      std::fill(row, row + users, kDarkPilotDb);
-    }
-  }
-}
-
-void CellularWorld::finalize_cell_interference(int c) {
-  // Second barrier phase (interference worlds only): sum the co-channel
-  // cells' frozen contribution rows into this cell's SINR penalties —
-  // same arithmetic, same ascending-site order as the reference
-  // mac::interference_penalty_db — then take the pilot snapshot. Reads
-  // every cell's contribution row (read-only after the barrier), writes
-  // only this cell's bank, metrics and scratch rows.
-  const std::size_t users = attached_.size();
-  double* row = snr_scratch_.data() + static_cast<std::size_t>(c) * users;
+  double* row = plane_rows_[static_cast<std::size_t>(c)].data();
   double* irow =
-      interference_scratch_.data() + static_cast<std::size_t>(c) * users;
+      interf ? interference_rows_[static_cast<std::size_t>(c)].data()
+             : nullptr;
   const std::vector<int>& interferers =
       cochannel_[static_cast<std::size_t>(c)];
   double penalty_sum = 0.0;
-  for (std::size_t u = 0; u < users; ++u) {
-    double inr = 0.0;
-    for (const int s : interferers) {
-      if (cell_load_[static_cast<std::size_t>(s)] <= 0.0) continue;
-      inr += interference_contrib_[static_cast<std::size_t>(s) * users + u];
+  for (const BandMember& m : band) {
+    const Vec2 pos = mobility_.position(static_cast<int>(m.id));
+    const double d_sq =
+        std::max(layout_.distance_sq(pos, c), min_distance_sq_m2_);
+    row[m.slot] = path_loss_c_db_ - path_loss_half_k_ * std::log(d_sq);
+    if (interf) {
+      double inr = 0.0;
+      for (const int s : interferers) {
+        const double load = cell_load_[static_cast<std::size_t>(s)];
+        if (load <= 0.0) continue;
+        const double ds =
+            std::max(layout_.distance_sq(pos, s), min_distance_sq_m2_);
+        const double db = path_loss_c_db_ - path_loss_half_k_ * std::log(ds);
+        inr += load * common::from_db(db);
+      }
+      const double penalty = common::to_db(1.0 + inr);
+      irow[m.slot] = penalty;
+      penalty_sum += penalty;
     }
-    const double penalty = common::to_db(1.0 + inr);
-    irow[u] = penalty;
-    penalty_sum += penalty;
   }
-  auto& cell = *cells_[static_cast<std::size_t>(c)];
-  cell.channel_bank().set_interference_db_all({irow, users});
-  cell.note_interference_epoch(
-      users > 0 ? penalty_sum / static_cast<double>(users) : 0.0);
-  cell.channel_bank().snr_db_all({row, users});
-  if (cell_dark(c)) {
-    std::fill(row, row + users, kDarkPilotDb);  // see update_cell_snr_plane
+  // Same per-cell bank-op order as the dense world: mean plane,
+  // interference plane, epoch metric, pilot snapshot. The snapshot reads
+  // every band member, so under a lazy bank the epoch is a full band
+  // re-anchor, bounding any member's deferred-jump stride by the epoch
+  // period. A dark cell's bank is still fed the true plane (fading state
+  // and draw order must not depend on the outage schedule); only the
+  // *broadcast* pilot vanishes, which blend_pilots imposes from the dark
+  // flags without ever reading the snapshot.
+  bank.set_mean_snr_db_all({row, rows});
+  if (interf) {
+    bank.set_interference_db_all({irow, rows});
+    cell.note_interference_epoch(
+        band.empty() ? 0.0
+                     : penalty_sum / static_cast<double>(band.size()));
   }
+  bank.snr_db_all({row, rows});
 }
 
 void CellularWorld::update_snr_planes() {
   for_each_cell([this](std::size_t c) {
     update_cell_snr_plane(static_cast<int>(c));
   });
-  if (interference_enabled()) {
-    for_each_cell([this](std::size_t c) {
-      finalize_cell_interference(static_cast<int>(c));
-    });
-  }
 }
 
 void CellularWorld::update_cell_loads() {
@@ -235,28 +289,40 @@ void CellularWorld::update_cell_loads() {
 }
 
 void CellularWorld::blend_pilots(double alpha) {
-  // Shared pilot-scan loop: the scratch plane is cell-major (each cell's
-  // task wrote its own contiguous row); the filtered plane is user-major
-  // (the attachment rule reads one user's row as a span).
+  // Band-local pilot filtering: each user's band entries blend their
+  // cell's slot-indexed snapshot row. Iteration is user-ascending then
+  // cell-ascending — the dense plane's exact scan order.
   const std::size_t users = attached_.size();
-  const std::size_t cells = cells_.size();
   const bool outages = !dark_.empty();
   for (std::size_t u = 0; u < users; ++u) {
-    double* pilots = pilot_db_.data() + u * cells;
-    for (std::size_t c = 0; c < cells; ++c) {
+    for (BandPilot& e : band_[u]) {
+      const auto c = static_cast<std::size_t>(e.cell);
       if (outages) {
         if (dark_[c]) {
-          pilots[c] = kDarkPilotDb;  // no pilot to filter: hard floor
+          // No pilot to filter: hard floor. The entry counts as seeded —
+          // recovery restarts the filter from a fresh snapshot anyway.
+          e.pilot_db = kDarkPilotDb;
+          e.fresh = false;
           continue;
         }
         if (prev_dark_[c]) {
-          // Recovery: restart the filter from the fresh snapshot instead of
-          // decaying away from the sentinel over ~5 tau.
-          pilots[c] = snr_scratch_[c * users + u];
+          // Recovery: restart the filter from the fresh snapshot instead
+          // of decaying away from the sentinel over ~5 tau.
+          e.pilot_db = plane_rows_[c][e.slot];
+          e.fresh = false;
           continue;
         }
       }
-      pilots[c] += alpha * (snr_scratch_[c * users + u] - pilots[c]);
+      if (e.fresh) {
+        // First snapshot this entry ever sees (band entry, or the world's
+        // initial blend): the pilot *is* the snapshot. At alpha = 1 this
+        // equals 0 + 1.0 * (snap - 0) bit for bit, so the dense initial
+        // blend is reproduced exactly.
+        e.pilot_db = plane_rows_[c][e.slot];
+        e.fresh = false;
+        continue;
+      }
+      e.pilot_db += alpha * (plane_rows_[c][e.slot] - e.pilot_db);
     }
   }
 }
@@ -265,23 +331,20 @@ void CellularWorld::initialize_attachments() {
   blend_pilots(1.0);  // no history yet: the pilot *is* the first snapshot
   const int users = config_.params.total_users();
   for (int u = 0; u < users; ++u) {
-    const auto pilots = pilot_row(static_cast<std::size_t>(u));
-    int best = 0;
-    for (int c = 1; c < config_.num_cells; ++c) {
-      if (pilots[static_cast<std::size_t>(c)] >
-          pilots[static_cast<std::size_t>(best)]) {
-        best = c;
-      }
+    const auto& band = band_[static_cast<std::size_t>(u)];
+    // Strict-> argmax over the band in ascending cell order — the dense
+    // all-cells scan, restricted to residency.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < band.size(); ++i) {
+      if (band[i].pilot_db > band[best].pilot_db) best = i;
     }
-    attached_[static_cast<std::size_t>(u)] = best;
-    // Initial placement, not a handoff: no counters, no state carry.
-    for (int c = 0; c < config_.num_cells; ++c) {
-      if (c != best) {
-        cells_[static_cast<std::size_t>(c)]
-            ->user(static_cast<common::UserId>(u))
-            .set_present(false);
-      }
-    }
+    const int best_cell = band[best].cell;
+    attached_[static_cast<std::size_t>(u)] = best_cell;
+    ++attach_counts_[static_cast<std::size_t>(best_cell)];
+    // Initial placement, not a handoff: presence plus traffic, no
+    // counters, no state carry. Band shells elsewhere stay absent.
+    cells_[static_cast<std::size_t>(best_cell)]->attach_user_initial(
+        static_cast<common::UserId>(u));
   }
 }
 
@@ -289,31 +352,41 @@ void CellularWorld::update_pilots_and_attachments() {
   blend_pilots(pilot_alpha_);
   const int users = config_.params.total_users();
   for (int u = 0; u < users; ++u) {
+    const auto& band = band_[static_cast<std::size_t>(u)];
     const int from = attached_[static_cast<std::size_t>(u)];
     if (cell_dark(from)) {
       // Forced eviction: the serving cell went dark. Hysteresis does not
       // apply — there is nothing to stick to — so the user takes its
-      // strongest lit pilot. With every cell dark (total blackout, out of
-      // scope for the schedule's single-cell fault model) the user stays
+      // strongest lit band pilot. With the whole band dark the user stays
       // put and rides out the outage on the dead cell.
-      const auto pilots = pilot_row(static_cast<std::size_t>(u));
-      int best = -1;
-      for (int c = 0; c < config_.num_cells; ++c) {
-        if (cell_dark(c)) continue;
-        if (best < 0 ||
-            pilots[static_cast<std::size_t>(c)] >
-                pilots[static_cast<std::size_t>(best)]) {
-          best = c;
+      std::size_t best = band.size();
+      for (std::size_t i = 0; i < band.size(); ++i) {
+        if (cell_dark(band[i].cell)) continue;
+        if (best == band.size() || band[i].pilot_db > band[best].pilot_db) {
+          best = i;
         }
       }
-      if (best >= 0) {
-        evict(static_cast<common::UserId>(u), from, best);
+      if (best < band.size()) {
+        evict(static_cast<common::UserId>(u), from, band[best].cell);
       }
       continue;
     }
-    const int to =
-        strongest_with_hysteresis(pilot_row(static_cast<std::size_t>(u)),
-                                  from, config_.handoff_hysteresis_db);
+    // Gather the band's pilots contiguously for the shared attachment
+    // rule; the attached cell is always band-resident (update_bands pins
+    // it), so its index is well-defined.
+    pilot_scratch_.clear();
+    cell_of_scratch_.clear();
+    int attached_idx = -1;
+    for (std::size_t i = 0; i < band.size(); ++i) {
+      pilot_scratch_.push_back(band[i].pilot_db);
+      cell_of_scratch_.push_back(band[i].cell);
+      if (band[i].cell == from) attached_idx = static_cast<int>(i);
+    }
+    assert(attached_idx >= 0 && "attached cell missing from band");
+    const int pick = strongest_with_hysteresis(
+        {pilot_scratch_.data(), pilot_scratch_.size()}, attached_idx,
+        config_.handoff_hysteresis_db);
+    const int to = cell_of_scratch_[static_cast<std::size_t>(pick)];
     if (to != from) {
       handoff(static_cast<common::UserId>(u), from, to);
     }
@@ -331,6 +404,8 @@ void CellularWorld::handoff(common::UserId user, int from, int to) {
   source.detach_user(user);
   target.attach_user(user);
   attached_[static_cast<std::size_t>(user)] = to;
+  --attach_counts_[static_cast<std::size_t>(from)];
+  ++attach_counts_[static_cast<std::size_t>(to)];
   ++handoffs_;
 }
 
@@ -346,6 +421,8 @@ void CellularWorld::evict(common::UserId user, int from, int to) {
   source.evict_user(user);
   target.attach_user(user);
   attached_[static_cast<std::size_t>(user)] = to;
+  --attach_counts_[static_cast<std::size_t>(from)];
+  ++attach_counts_[static_cast<std::size_t>(to)];
 }
 
 void CellularWorld::apply_traffic_modulation(common::Time t) {
@@ -384,6 +461,13 @@ void CellularWorld::run_window(common::Time duration) {
     // Outage flags for the epoch [now_, now_ + dt) are frozen here, before
     // the parallel plane tasks read them.
     update_outage_flags(now_);
+    // Band maintenance from the new positions (coordinator): entering
+    // users are admitted, leavers released — except each user's attached
+    // cell, which stays pinned until a handoff moves the user. The plane
+    // rows then grow to any new bank rows before the parallel tasks use
+    // them.
+    update_bands(/*include_attached=*/true);
+    resize_plane_rows();
     update_snr_planes();
     update_pilots_and_attachments();
     apply_traffic_modulation(now_);

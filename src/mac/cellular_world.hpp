@@ -3,19 +3,31 @@
 // quality point of view?") promoted from a side study to a first-class
 // simulation workload.
 //
-// A CellularWorld owns one ProtocolEngine per cell. Every engine
-// instantiates the full user population (same ids everywhere), but each
-// user is *present* — generating traffic, contending, holding reservations
-// — in exactly one cell at a time. Each decision epoch the world:
+// A CellularWorld owns one ProtocolEngine per cell. Presence is sparse
+// and band-local: a user holds materialized channel/engine state only in
+// the cells whose pilot band covers it — the sites within
+// `pilot_band_radius_m` of its position (wrap-aware, SiteIndex), plus
+// always its attached cell — and is *present* (generating traffic,
+// contending, holding reservations) in exactly one of them. Radius 0 (the
+// default) puts every user in every cell's band, which reproduces the
+// historical dense users×cells world bit for bit; a finite radius makes
+// per-cell memory and epoch work O(band occupancy) instead of
+// O(population), which is what makes million-user worlds affordable.
+// Each decision epoch the world:
 //
-//   1. moves every user (MobilityModel),
-//   2. re-anchors each (user, cell) link's mean SNR from distance-based
-//      path loss, feeds the cell's per-user co-channel interference
-//      penalties (computed from the *previous* epoch's attached-user
-//      loads) through ChannelBank::set_interference_db_all, and snapshots
-//      each cell's instantaneous pilot plane (set_mean_snr_db_all /
-//      snr_db_all — fading/shadowing state and RNG draw order untouched).
-//      With interference enabled, pilots and in-cell SNR are SINR.
+//   1. moves every user (MobilityModel) and updates band membership from
+//      the new positions — engines admit entering users
+//      (ProtocolEngine::band_admit: a fresh ChannelBank row, or a
+//      recycled one re-seeded from the per-(user, cell) visit counter)
+//      and release leavers (band_release),
+//   2. re-anchors each band-resident (user, cell) link's mean SNR from
+//      distance-based path loss, computes the cell's per-user co-channel
+//      interference penalties (from the *previous* epoch's attached-user
+//      loads) fed through ChannelBank::set_interference_db_all, and
+//      snapshots each cell's instantaneous pilot plane
+//      (set_mean_snr_db_all / snr_db_all — fading/shadowing state and RNG
+//      draw order untouched). With interference enabled, pilots and
+//      in-cell SNR are SINR.
 //   3. updates per-(user, cell) filtered pilots and applies the
 //      strongest-with-hysteresis attachment rule
 //      (mac::strongest_with_hysteresis — every challenger measured
@@ -52,6 +64,7 @@
 #include "experiment/worker_pool.hpp"
 #include "mac/engine.hpp"
 #include "mac/mobility.hpp"
+#include "mac/presence.hpp"
 #include "mac/scenario.hpp"
 #include "mac/site_layout.hpp"
 #include "traffic/modulation.hpp"
@@ -100,6 +113,15 @@ struct CellularConfig {
   /// concurrency. Results are bit-identical at every setting.
   unsigned num_threads = 1;
 
+  /// Pilot-band radius (m): a user holds channel/engine state only in the
+  /// cells whose site is within this distance (wrap-aware), plus always
+  /// its attached cell. 0 (the default) is the all-cells band — the
+  /// historical dense world, bit for bit. A finite radius must cover the
+  /// attachment geometry (≳ the site spacing) to leave handoffs a target;
+  /// memory and epoch work then scale with band occupancy, not with
+  /// users × cells.
+  double pilot_band_radius_m = 0.0;
+
   /// Attachment policy (mac::strongest_with_hysteresis inputs).
   double handoff_hysteresis_db = 4.0;
   /// Pilot low-pass filter time constant (s) — suppresses fading-rate
@@ -140,7 +162,8 @@ struct CellularConfig {
       if (!o.valid(num_cells)) return false;
     }
     return num_cells >= 1 && params.valid() && mobility.valid() &&
-           layout.valid() && interference_activity >= 0.0 &&
+           layout.valid() && pilot_band_radius_m >= 0.0 &&
+           interference_activity >= 0.0 &&
            interference_activity <= 1.0 && handoff_hysteresis_db >= 0.0 &&
            pilot_filter_tau > 0.0 && decision_interval > 0.0 &&
            path_loss_exponent > 0.0 && reference_distance_m > 0.0 &&
@@ -185,11 +208,11 @@ class CellularWorld {
     return config_.interference_activity > 0.0;
   }
   /// Current SINR penalty (dB, >= 0) on the (user, cell) link; exactly 0
-  /// when the plane is disabled or the cell has no co-channel load.
+  /// when the plane is disabled or the cell has no co-channel load. The
+  /// user must be resident in cell `c`'s band.
   double interference_db(common::UserId user, int c) const {
-    return cells_.at(static_cast<std::size_t>(c))
-        ->channel_bank()
-        .interference_db(static_cast<std::size_t>(user));
+    auto& cell = *cells_.at(static_cast<std::size_t>(c));
+    return cell.channel_bank().interference_db(cell.user(user).channel().index());
   }
   /// The aggregate load (activity × attached users) cell `c` contributed
   /// to the current epoch's interference plane.
@@ -205,34 +228,62 @@ class CellularWorld {
   bool cell_dark(int c) const {
     return !dark_.empty() && dark_[static_cast<std::size_t>(c)] != 0;
   }
-  /// Number of users currently attached to cell `c`.
+  /// Number of users currently attached to cell `c` — an O(1) read of the
+  /// per-cell counter maintained by initialize_attachments / handoff /
+  /// evict (debug builds reconcile it against the full scan).
   int attached_count(int c) const;
+
+  /// Cells whose pilot band currently contains `user`, ascending — test
+  /// visibility into the sparse-presence bookkeeping.
+  std::vector<int> band_cells(common::UserId user) const;
 
   /// Mean SNR (dB) the path-loss model assigns at distance `d_m` — exposed
   /// for tests and the bench's sanity prints.
   double mean_snr_at_distance_db(double d_m) const;
 
  private:
+  /// One (user, cell) band residency: the cell, the user's engine/bank
+  /// slot there, and the filtered pilot. `fresh` marks entries admitted
+  /// this epoch: their first blend starts the filter from the snapshot
+  /// instead of decaying from an empty history.
+  struct BandPilot {
+    int cell = 0;
+    std::uint32_t slot = 0;
+    double pilot_db = 0.0;
+    bool fresh = true;
+  };
+
+  /// Re-derives every user's band from its position (SiteIndex), admits
+  /// entrants into / releases leavers from the cell engines, and rebuilds
+  /// band_[u]. `include_attached` additionally pins each user's attached
+  /// cell into its band regardless of geometry (epochs; construction runs
+  /// before any attachment exists). Coordinator-only, user-id order — the
+  /// deterministic admit/release order is what keeps the banks' free
+  /// lists, and therefore the whole world, bit-identical between serial
+  /// and parallel runs.
+  void update_bands(bool include_attached);
+  /// Grows each cell's plane scratch rows to the bank's current row count
+  /// (vacant rows are never read; they only keep the spans full-size).
+  void resize_plane_rows();
   void initialize_attachments();
-  /// Per-cell epoch task (runs on the pool): re-anchor the cell's mean-SNR
-  /// plane from the users' positions and stage the cell's own linear
-  /// interference contribution (load × INR at every user position); with
-  /// interference off it also takes the pilot snapshot into this cell's
-  /// row of snr_scratch_.
+  /// Per-cell epoch task (runs on the pool): over the cell's band — never
+  /// users × cells — re-anchor the mean-SNR plane from the members'
+  /// positions, compute each member's co-channel SINR penalty directly
+  /// from the coordinator-frozen load vector (one pass; the dense world's
+  /// stage-contributions-then-sum split collapses because each (user,
+  /// interferer) term is recomputed in place, same expressions in the
+  /// same order), feed the bank, and take the pilot snapshot into this
+  /// cell's slot-indexed plane row.
   void update_cell_snr_plane(int c);
-  /// Second per-cell barrier phase (interference worlds only): sum the
-  /// co-channel contribution rows frozen by the first barrier into this
-  /// cell's SINR penalty row, feed the bank, then take the pilot
-  /// snapshot.
-  void finalize_cell_interference(int c);
-  /// The per-epoch plane update: one barrier (plus the interference
-  /// summing barrier when the plane is on).
+  /// The per-epoch plane update: one share-nothing barrier, interference
+  /// included.
   void update_snr_planes();
   /// Coordinator step after attachment: refreshes cell_load_ (activity ×
   /// attached users per cell) for the next epoch's interference plane.
   void update_cell_loads();
-  /// Low-pass blend of the scratch plane into the filtered pilot plane;
-  /// alpha = 1 overwrites (initial attachment), pilot_alpha_ filters.
+  /// Low-pass blend of the per-cell snapshot rows into every band entry's
+  /// filtered pilot; alpha = 1 overwrites (initial attachment),
+  /// pilot_alpha_ filters. Fresh entries restart from the snapshot.
   void blend_pilots(double alpha);
   void update_pilots_and_attachments();
   void handoff(common::UserId user, int from, int to);
@@ -253,27 +304,33 @@ class CellularWorld {
   void for_each_cell(const std::function<void(std::size_t)>& fn);
   void run_window(common::Time duration);
 
-  /// One user's filtered pilot row, `num_cells` wide.
-  std::span<const double> pilot_row(std::size_t user) const {
-    return {pilot_db_.data() + user * cells_.size(), cells_.size()};
-  }
-
   CellularConfig config_;
   std::vector<std::unique_ptr<ProtocolEngine>> cells_;
   SiteLayout layout_;
+  SiteIndex site_index_;
   MobilityModel mobility_;
   std::unique_ptr<experiment::WorkerPool> pool_;  ///< null when serial
   std::vector<int> attached_;          ///< per-user cell index
-  std::vector<double> pilot_db_;       ///< filtered, [user * cells + cell]
-  std::vector<double> snr_scratch_;    ///< per-epoch, [cell * users + user]
-  /// Interference penalty plane staged per cell task, [cell * users +
-  /// user]; empty when the plane is disabled.
-  std::vector<double> interference_scratch_;
-  /// Each cell's own linear interference contribution (load × INR) at
-  /// every user position, [cell * users + user]: written by the cell's
-  /// first-phase task, read by every co-channel cell's summing phase
-  /// after the barrier. Empty when the plane is disabled.
-  std::vector<double> interference_contrib_;
+  /// Per-user band residencies, ascending by cell — the sparse
+  /// replacement for the dense users×cells filtered-pilot plane.
+  std::vector<std::vector<BandPilot>> band_;
+  /// Per-cell slot-indexed epoch scratch: the mean-SNR/pilot snapshot row
+  /// fed to (and read back from) the cell's bank. Only band members'
+  /// slots are written or read.
+  std::vector<std::vector<double>> plane_rows_;
+  /// Per-cell slot-indexed SINR penalty rows; empty when the plane is
+  /// disabled.
+  std::vector<std::vector<double>> interference_rows_;
+  /// Per-cell attached-user counters (mirrors counting attached_; the
+  /// scan is debug-assert only).
+  std::vector<int> attach_counts_;
+  /// Coordinator scratch: SiteIndex query result / band-diff merge.
+  std::vector<int> cell_scratch_;
+  std::vector<BandPilot> band_scratch_;
+  /// Coordinator scratch for the attachment rule: one user's band pilots
+  /// and the matching cell ids, gathered contiguously.
+  std::vector<double> pilot_scratch_;
+  std::vector<int> cell_of_scratch_;
   /// Per-cell aggregate load (activity × attached users) frozen by the
   /// coordinator each epoch; read-only inside the parallel cell tasks.
   std::vector<double> cell_load_;

@@ -1,5 +1,6 @@
 #include "mac/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace charisma::mac {
@@ -34,27 +35,102 @@ ProtocolEngine::ProtocolEngine(const ScenarioParams& params)
   // The channel grid step must match the frame cadence so per-frame draws
   // line up with the coherence model.
   params_.channel.sample_interval = geom_.frame_duration;
-  bank_.reserve(static_cast<std::size_t>(params.total_users()));
   // Opt-in demand-driven materialization: advance_world moves the bank
   // clock in O(1) and the frame's touch sets / reads materialize users.
   bank_.set_lazy(params_.lazy_channel);
-  users_.reserve(static_cast<std::size_t>(params.total_users()));
-  for (int i = 0; i < params.num_voice_users; ++i) {
-    users_.emplace_back(static_cast<common::UserId>(i), ServiceType::kVoice,
-                        params_, &bank_);
-  }
-  for (int i = 0; i < params.num_data_users; ++i) {
-    users_.emplace_back(
-        static_cast<common::UserId>(params.num_voice_users + i),
-        ServiceType::kData, params_, &bank_);
+  if (!params_.defer_population) {
+    // Dense (historical) population: every user admitted in id order —
+    // slot == id throughout — present with live traffic from the start.
+    // defer_population leaves the engine empty; the world admits each
+    // cell's pilot band instead, so memory scales with band occupancy
+    // rather than with the population.
+    const auto total = static_cast<std::size_t>(params.total_users());
+    bank_.reserve(total);
+    users_.reserve(total);
+    band_.reserve(total);
+    for (int i = 0; i < params.total_users(); ++i) {
+      band_admit(static_cast<common::UserId>(i), true);
+    }
   }
 }
 
 MobileUser& ProtocolEngine::user(common::UserId id) {
-  if (id < 0 || id >= static_cast<common::UserId>(users_.size())) {
-    throw std::out_of_range("ProtocolEngine::user: bad id");
+  if (identity_) {
+    if (id < 0 || id >= static_cast<common::UserId>(users_.size())) {
+      throw std::out_of_range("ProtocolEngine::user: bad id");
+    }
+    return *users_[static_cast<std::size_t>(id)];
   }
-  return users_[static_cast<std::size_t>(id)];
+  const auto it = std::lower_bound(
+      band_.begin(), band_.end(), id,
+      [](const BandMember& m, common::UserId v) { return m.id < v; });
+  if (it == band_.end() || it->id != id) {
+    throw std::out_of_range("ProtocolEngine::user: not band-resident");
+  }
+  return *users_[it->slot];
+}
+
+bool ProtocolEngine::band_resident(common::UserId id) const {
+  const auto it = std::lower_bound(
+      band_.begin(), band_.end(), id,
+      [](const BandMember& m, common::UserId v) { return m.id < v; });
+  return it != band_.end() && it->id == id;
+}
+
+MobileUser& ProtocolEngine::band_admit(common::UserId id,
+                                       bool materialize_traffic) {
+  if (id < 0 || id >= static_cast<common::UserId>(params_.total_users())) {
+    throw std::out_of_range("ProtocolEngine::band_admit: bad id");
+  }
+  const auto pos = std::lower_bound(
+      band_.begin(), band_.end(), id,
+      [](const BandMember& m, common::UserId v) { return m.id < v; });
+  if (pos != band_.end() && pos->id == id) {
+    throw std::logic_error("ProtocolEngine::band_admit: already resident");
+  }
+  const ServiceType service = id < params_.num_voice_users
+                                  ? ServiceType::kVoice
+                                  : ServiceType::kData;
+  std::uint32_t visit = 0;
+  if (!rebirths_.empty()) {
+    const auto it = rebirths_.find(id);
+    if (it != rebirths_.end()) visit = it->second;
+  }
+  auto u = std::make_unique<MobileUser>(id, service, params_, bank_, visit);
+  // The bank decides the slot (fresh row or a reused free-list one); the
+  // engine's storage mirrors the bank's rows one-for-one.
+  const std::size_t slot = u->channel().index();
+  if (slot == users_.size()) {
+    users_.push_back(std::move(u));
+  } else {
+    users_[slot] = std::move(u);
+  }
+  if (slot != static_cast<std::size_t>(id)) identity_ = false;
+  band_.insert(pos, BandMember{id, static_cast<std::uint32_t>(slot)});
+  MobileUser& ref = *users_[slot];
+  if (materialize_traffic) {
+    ref.ensure_traffic(params_);
+    ref.set_present(true);
+  }
+  return ref;
+}
+
+void ProtocolEngine::band_release(common::UserId id) {
+  const auto it = std::lower_bound(
+      band_.begin(), band_.end(), id,
+      [](const BandMember& m, common::UserId v) { return m.id < v; });
+  if (it == band_.end() || it->id != id) {
+    throw std::logic_error("ProtocolEngine::band_release: not band-resident");
+  }
+  const std::uint32_t slot = it->slot;
+  if (users_[slot]->present()) {
+    throw std::logic_error("ProtocolEngine::band_release: still attached");
+  }
+  ++rebirths_[id];
+  users_[slot].reset();
+  bank_.release_user(slot);
+  band_.erase(it);
+  identity_ = false;
 }
 
 const ProtocolMetrics& ProtocolEngine::run(common::Time warmup,
@@ -100,7 +176,19 @@ void ProtocolEngine::attach_user(common::UserId id) {
   auto& u = user(id);
   if (u.present()) return;
   ++metrics_.handoffs_in;
+  // A shell admitted into the band gets its MAC stream here; the traffic
+  // sources were already adopted from the previous cell (handoff
+  // continuity wins over a fresh draw), so ensure_traffic only fills gaps.
+  u.ensure_traffic(params_);
   u.set_present(true);
+  on_user_attached(id);
+}
+
+void ProtocolEngine::attach_user_initial(common::UserId id) {
+  auto& u = user(id);
+  u.ensure_traffic(params_);
+  u.set_present(true);
+  on_user_attached(id);
 }
 
 void ProtocolEngine::evict_user(common::UserId id) {
@@ -182,7 +270,7 @@ void ProtocolEngine::advance_world() {
     bank_.advance_all_to(t);
   }
   std::int64_t present = 0;
-  for (auto& u : users_) {
+  for (auto& u : users()) {
     if (!u.present()) continue;
     ++present;
     if (u.is_voice()) {
@@ -414,7 +502,12 @@ void ProtocolEngine::note_contention(const ContentionTally& tally) {
 
 void ProtocolEngine::note_user_delivery(common::UserId id, int packets) {
   auto& ledger = metrics_.per_user_delivered;
-  if (ledger.size() < users_.size()) ledger.resize(users_.size(), 0);
+  // users_ is slot-count, not population: a band-resident id can exceed
+  // it, so size to whichever is larger. The dense population still gets
+  // the historical users_.size()-sized ledger.
+  const std::size_t need =
+      std::max(users_.size(), static_cast<std::size_t>(id) + 1);
+  if (ledger.size() < need) ledger.resize(need, 0);
   ledger[static_cast<std::size_t>(id)] += packets;
 }
 

@@ -7,9 +7,12 @@
 // data-dependent for RMAV/DRMA.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "channel/channel_bank.hpp"
@@ -27,6 +30,56 @@
 #include "sim/simulator.hpp"
 
 namespace charisma::mac {
+
+/// One band-resident user of an engine: its id and the storage slot its
+/// state occupies (== its ChannelBank row). The band is kept sorted by id,
+/// so iterating it reproduces the historical ascending-id loops bit for
+/// bit; the slot is where a reused free-list row actually lives.
+struct BandMember {
+  common::UserId id;
+  std::uint32_t slot;
+};
+
+class MobileUser;
+
+/// Range view over an engine's band-resident users in ascending user-id
+/// order — the sparse-presence replacement for the historical
+/// `std::vector<MobileUser>&` that users() returned. Protocols range-for
+/// it exactly as before; the indirection through slots is the only change.
+class UserBand {
+ public:
+  class iterator {
+   public:
+    iterator(const BandMember* m, const std::unique_ptr<MobileUser>* slots)
+        : m_(m), slots_(slots) {}
+    MobileUser& operator*() const { return *slots_[m_->slot]; }
+    MobileUser* operator->() const { return slots_[m_->slot].get(); }
+    iterator& operator++() {
+      ++m_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return m_ == o.m_; }
+    bool operator!=(const iterator& o) const { return m_ != o.m_; }
+
+   private:
+    const BandMember* m_;
+    const std::unique_ptr<MobileUser>* slots_;
+  };
+
+  UserBand(const std::vector<BandMember>& band,
+           const std::vector<std::unique_ptr<MobileUser>>& slots)
+      : band_(&band), slots_(&slots) {}
+  iterator begin() const { return {band_->data(), slots_->data()}; }
+  iterator end() const {
+    return {band_->data() + band_->size(), slots_->data()};
+  }
+  std::size_t size() const { return band_->size(); }
+  bool empty() const { return band_->empty(); }
+
+ private:
+  const std::vector<BandMember>* band_;
+  const std::vector<std::unique_ptr<MobileUser>>* slots_;
+};
 
 class ProtocolEngine {
  public:
@@ -60,6 +113,39 @@ class ProtocolEngine {
     lazy_events_seen_ = stats.jump_events;
     lazy_frames_seen_ = stats.jump_frames;
   }
+
+  // ---- Sparse presence: band membership (CellularWorld) ----
+  // A cell's engine holds state only for the users inside its pilot band.
+  // The historical dense mode is the special case where the whole
+  // population is admitted at construction and never released.
+
+  /// Admits `id` into this engine's band: acquires a ChannelBank row
+  /// (reusing a released slot when one matches) and constructs the user's
+  /// shell there. With `materialize_traffic` the user is also made present
+  /// with live traffic sources — the historical at-construction semantics,
+  /// used for the dense population and by tests; the world instead admits
+  /// shells and attaches separately. What the new row draws depends only
+  /// on (scenario seed, id, per-(user,cell) visit count) — never on the
+  /// presence history of the rest of the population or on which slot the
+  /// free list handed back. Throws on a double admit or a bad id.
+  MobileUser& band_admit(common::UserId id, bool materialize_traffic);
+
+  /// Releases `id` from the band: destroys its shell and frees its bank
+  /// row for reuse. The user must be detached first (throws logic_error
+  /// otherwise); its next admit here draws a fresh rebirth seed.
+  void band_release(common::UserId id);
+
+  /// First-time attachment during world construction: makes the user
+  /// present with live traffic, *without* counting a handoff — the initial
+  /// placement is not a hand-in (dense initialize_attachments never
+  /// counted one either).
+  void attach_user_initial(common::UserId id);
+
+  /// Band membership, ascending by user id. slot is the user's storage /
+  /// ChannelBank row index.
+  const std::vector<BandMember>& band() const { return band_; }
+  std::size_t band_size() const { return band_.size(); }
+  bool band_resident(common::UserId id) const;
 
   // ---- Multi-cell attachment (CellularWorld) ----
 
@@ -105,7 +191,9 @@ class ProtocolEngine {
   common::Time now() const { return sim_.now(); }
   common::FrameIndex frame_index() const { return frame_index_; }
 
-  std::vector<MobileUser>& users() { return users_; }
+  /// The band-resident users in ascending user-id order (historically: the
+  /// whole population).
+  UserBand users() { return {band_, users_}; }
   MobileUser& user(common::UserId id);
 
   /// The shared SoA channel state all users' channels view into; exposed
@@ -127,6 +215,15 @@ class ProtocolEngine {
   /// every per-user structure the protocol holds (reservations, queue
   /// entries, grants, CSI cache). Default: nothing to release.
   virtual void on_user_detached(common::UserId /*id*/) {}
+
+  /// Twin hook run by attach_user / attach_user_initial after the user
+  /// becomes present: construct (or debug-verify the absence of) per-user
+  /// protocol state. Every stock protocol keys its state by user id and
+  /// releases it in on_user_detached, so the default — and the overrides —
+  /// do no release-mode work; overrides assert no stale residue survived a
+  /// detach/release cycle. Never fired for the dense at-construction
+  /// population (protocol constructors run after admission).
+  virtual void on_user_attached(common::UserId /*id*/) {}
 
   /// Number of requests the protocol is holding at the base station
   /// (admitted but unserved) — the LoadEstimator's queue-depth signal.
@@ -223,7 +320,11 @@ class ProtocolEngine {
   FrameGeometry geom_;
   sim::Simulator sim_;
   channel::ChannelBank bank_;  // declared before users_: views into it
-  std::vector<MobileUser> users_;
+  // Slot-indexed storage mirroring the bank's rows one-for-one (null at
+  // vacant slots), plus the ascending-id membership index over it. In the
+  // dense population slot == id and band_ is the identity.
+  std::vector<std::unique_ptr<MobileUser>> users_;
+  std::vector<BandMember> band_;
   ProtocolMetrics metrics_;
   phy::FixedPhy fixed_phy_;
   phy::AdaptivePhy adaptive_phy_;
@@ -240,6 +341,16 @@ class ProtocolEngine {
   /// them into the estimator, step the controller, sample the factors.
   void barring_control_step();
   bool started_ = false;
+
+  /// True while slot == id for every band member with no vacancies — the
+  /// dense population's invariant, letting user(id) skip the binary
+  /// search. Cleared (permanently) by the first out-of-order admit or any
+  /// release.
+  bool identity_ = true;
+  /// Per-user count of completed band visits *here*: how many times the
+  /// user has been released from this cell's band. Seeds the rebirth
+  /// stream on re-admission. Empty for the dense population.
+  std::unordered_map<common::UserId, std::uint32_t> rebirths_;
 
   // Closed-loop barring state (engaged only when params.barring.enabled;
   // the estimator/controller live inside this cell's engine, so the

@@ -9,9 +9,19 @@ constexpr std::uint64_t kChannelStream = 0x1000'0000ULL;
 constexpr std::uint64_t kSourceStream = 0x2000'0000ULL;
 constexpr std::uint64_t kMacStream = 0x3000'0000ULL;
 constexpr std::uint64_t kLinkBudgetStream = 0x5000'0000ULL;
+// Per-(user, cell) band re-entry counter stream: visit v > 0 re-seeds the
+// user's cell-local randomness from derive_seed(seed, kRebirthStream + v).
+constexpr std::uint64_t kRebirthStream = 0xA000'0000ULL;
+
+std::uint64_t visit_seed(std::uint64_t seed, std::uint32_t visit) {
+  if (visit == 0) return seed;  // first entry: the historical seed, bit for bit
+  return common::derive_seed(seed, kRebirthStream + visit);
+}
 
 // The user's radio environment: the shared cell configuration plus this
-// device's fixed link-budget offset (position in the cell).
+// device's fixed link-budget offset (position in the cell). The offset is
+// a static property of the user, so it always derives from the *plain*
+// scenario seed — a band re-entry must not teleport the device.
 channel::ChannelConfig user_channel_config(common::UserId id,
                                            const ScenarioParams& params) {
   channel::ChannelConfig cfg = params.channel;
@@ -25,12 +35,14 @@ channel::ChannelConfig user_channel_config(common::UserId id,
 
 channel::UserChannel make_channel(common::UserId id,
                                   const ScenarioParams& params,
+                                  std::uint64_t seed,
                                   channel::ChannelBank* bank) {
   const channel::ChannelConfig cfg = user_channel_config(id, params);
-  common::RngStream rng(params.seed,
+  common::RngStream rng(seed,
                         kChannelStream + static_cast<std::uint64_t>(id));
   if (bank != nullptr) {
-    return channel::UserChannel(*bank, bank->add_user(cfg, std::move(rng)));
+    return channel::UserChannel(*bank,
+                                bank->acquire_user(cfg, std::move(rng)));
   }
   return channel::UserChannel(cfg, std::move(rng));
 }
@@ -41,17 +53,35 @@ MobileUser::MobileUser(common::UserId id, ServiceType service,
                        channel::ChannelBank* bank)
     : id_(id),
       service_(service),
-      rng_(params.seed, kMacStream + static_cast<std::uint64_t>(id)),
-      channel_(make_channel(id, params, bank)) {
-  common::RngStream source_rng(params.seed,
-                               kSourceStream + static_cast<std::uint64_t>(id));
-  if (service == ServiceType::kVoice) {
+      seed_(params.seed),
+      channel_(make_channel(id, params, params.seed, bank)) {
+  ensure_traffic(params);
+}
+
+MobileUser::MobileUser(common::UserId id, ServiceType service,
+                       const ScenarioParams& params,
+                       channel::ChannelBank& bank, std::uint32_t visit)
+    : present_(false),
+      id_(id),
+      service_(service),
+      seed_(visit_seed(params.seed, visit)),
+      channel_(make_channel(id, params, seed_, &bank)) {}
+
+void MobileUser::ensure_traffic(const ScenarioParams& params) {
+  if (rng_ == nullptr) {
+    rng_ = std::make_unique<common::RngStream>(
+        seed_, kMacStream + static_cast<std::uint64_t>(id_));
+  }
+  if (voice_ != nullptr || data_ != nullptr) return;  // adopted on handoff
+  common::RngStream source_rng(seed_,
+                               kSourceStream + static_cast<std::uint64_t>(id_));
+  if (service_ == ServiceType::kVoice) {
     traffic::VoiceSourceConfig cfg;
     cfg.mean_talkspurt_s = params.mean_talkspurt_s;
     cfg.mean_silence_s = params.mean_silence_s;
     cfg.voice_period = params.geometry.voice_period();
     cfg.deadline = params.geometry.voice_period();
-    voice_.emplace(cfg, std::move(source_rng));
+    voice_ = std::make_unique<traffic::VoiceSource>(cfg, std::move(source_rng));
   } else {
     traffic::DataSourceConfig cfg;
     cfg.mean_interarrival_s = params.mean_data_interarrival_s;
@@ -59,7 +89,7 @@ MobileUser::MobileUser(common::UserId id, ServiceType service,
     cfg.frame_duration = params.geometry.frame_duration;
     cfg.mmpp_rate_ratio = params.data_mmpp_rate_ratio;
     cfg.mmpp_mean_sojourn_s = params.data_mmpp_mean_sojourn_s;
-    data_.emplace(cfg, std::move(source_rng));
+    data_ = std::make_unique<traffic::DataSource>(cfg, std::move(source_rng));
   }
 }
 

@@ -3,10 +3,17 @@
 // packet-error realizations). All per-user randomness is seeded from the
 // scenario seed and the user id, so populations are reproducible and
 // protocols see identical worlds.
+//
+// Sparse presence: a user object can be constructed as a band-resident
+// *shell* — channel row live in the cell's bank (the attachment policy
+// needs its pilot), traffic sources and MAC stream deferred until the user
+// actually attaches (ensure_traffic). A shell is ~a hundred bytes; the
+// mt19937_64-backed streams it defers are ~2.5 KB each, which is what
+// makes band-local worlds with very large populations affordable.
 #pragma once
 
 #include <algorithm>
-#include <optional>
+#include <memory>
 
 #include "channel/user_channel.hpp"
 #include "common/rng.hpp"
@@ -21,13 +28,26 @@ enum class ServiceType { kVoice, kData };
 
 class MobileUser {
  public:
-  /// When `bank` is non-null the user's channel is registered in that
-  /// shared ChannelBank (the engine's batched hot path); otherwise the
-  /// channel is standalone. Seeding is identical either way, so the same
-  /// user sees the same channel in both modes.
+  /// Fully materialized user, present, visit 0: the historical single-cell
+  /// constructor. When `bank` is non-null the user's channel is registered
+  /// in that shared ChannelBank (the engine's batched hot path); otherwise
+  /// the channel is standalone. Seeding is identical either way, so the
+  /// same user sees the same channel in both modes.
   MobileUser(common::UserId id, ServiceType service,
              const ScenarioParams& params,
              channel::ChannelBank* bank = nullptr);
+
+  /// Band-shell constructor (sparse presence): acquires a channel row in
+  /// `bank` but defers the traffic sources and the MAC stream until
+  /// ensure_traffic; the user starts absent. `visit` is the per-(user,
+  /// cell) band-entry counter: visit 0 draws from the plain scenario seed
+  /// (bit-identical to the historical constructor), visit v > 0 derives a
+  /// fresh rebirth seed, so what a re-entering user's row draws depends
+  /// only on (seed, id, visit) — never on the presence history of the rest
+  /// of the population or on which bank slot the free-list handed back.
+  MobileUser(common::UserId id, ServiceType service,
+             const ScenarioParams& params, channel::ChannelBank& bank,
+             std::uint32_t visit);
 
   common::UserId id() const { return id_; }
   ServiceType service() const { return service_; }
@@ -42,13 +62,24 @@ class MobileUser {
   traffic::DataSource& data() { return *data_; }
   const traffic::DataSource& data() const { return *data_; }
 
-  common::RngStream& rng() { return rng_; }
+  common::RngStream& rng() { return *rng_; }
+
+  /// True once the MAC stream (and, unless adopted, the traffic source)
+  /// exist. Shells must ensure_traffic before first presence.
+  bool traffic_ready() const { return rng_ != nullptr; }
+
+  /// Materializes the deferred per-user state: the MAC stream always, the
+  /// traffic source only when none exists yet (a handoff adopts the
+  /// source from the previous cell first — that continuity wins over a
+  /// fresh draw). Seeded from this user's visit-derived seed, so a first
+  /// attach draws exactly what the historical constructor drew. Idempotent.
+  void ensure_traffic(const ScenarioParams& params);
 
   // ---- Multi-cell presence (CellularWorld) ----
-  // Every cell's engine instantiates the full population; a user is
-  // `present` only in the cell it is attached to. Absent users generate no
-  // traffic and never contend — their channel keeps evolving so the
-  // attachment policy can measure their pilot.
+  // A user holds engine state only in the cells whose band it occupies,
+  // and is `present` only in the cell it is attached to. Absent users
+  // generate no traffic and never contend — their channel keeps evolving
+  // so the attachment policy can measure their pilot.
 
   bool present() const { return present_; }
   void set_present(bool present) { present_ = present; }
@@ -58,8 +89,11 @@ class MobileUser {
   /// continuity a handoff must preserve) and the contention backoff scale.
   /// The channel is *not* carried: each cell's link fades independently.
   void adopt_service_state(const MobileUser& other) {
-    voice_ = other.voice_;
-    data_ = other.data_;
+    voice_ = other.voice_
+                 ? std::make_unique<traffic::VoiceSource>(*other.voice_)
+                 : nullptr;
+    data_ = other.data_ ? std::make_unique<traffic::DataSource>(*other.data_)
+                        : nullptr;
     backoff_scale_ = other.backoff_scale_;
   }
 
@@ -90,10 +124,11 @@ class MobileUser {
   bool present_ = true;
   common::UserId id_;
   ServiceType service_;
-  common::RngStream rng_;
+  std::uint64_t seed_;  // visit-derived scenario seed (visit 0: the plain one)
+  std::unique_ptr<common::RngStream> rng_;
   channel::UserChannel channel_;
-  std::optional<traffic::VoiceSource> voice_;
-  std::optional<traffic::DataSource> data_;
+  std::unique_ptr<traffic::VoiceSource> voice_;
+  std::unique_ptr<traffic::DataSource> data_;
 };
 
 }  // namespace charisma::mac

@@ -59,6 +59,12 @@ struct ScenarioParams {
   /// a k-jump consumes one innovation set where k unit steps consume k.
   bool lazy_channel = false;
 
+  /// Sparse presence (CellularWorld): when true the engine starts with an
+  /// *empty* population and the world admits users into each cell's band
+  /// on demand (ProtocolEngine::band_admit). false — the historical
+  /// behaviour — materializes the full population at construction.
+  bool defer_population = false;
+
   // Request contention model (paper §2): permission probabilities.
   double voice_permission_prob = 0.3;
   double data_permission_prob = 0.2;

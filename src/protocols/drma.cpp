@@ -1,5 +1,6 @@
 #include "protocols/drma.hpp"
 
+#include <cassert>
 #include <algorithm>
 #include <deque>
 #include <limits>
@@ -21,6 +22,12 @@ DrmaProtocol::DrmaProtocol(const mac::ScenarioParams& params,
 void DrmaProtocol::on_user_detached(common::UserId id) {
   grid_.release(id);
   queue_.remove(id);
+}
+
+void DrmaProtocol::on_user_attached([[maybe_unused]] common::UserId id) {
+  // A (re-)attaching user must arrive clean of earlier-stay state.
+  assert(!grid_.has_reservation(id));
+  assert(!queue_.contains(id));
 }
 
 common::Time DrmaProtocol::process_frame() {

@@ -1,5 +1,6 @@
 #include "protocols/dtdma.hpp"
 
+#include <cassert>
 #include <limits>
 #include <vector>
 
@@ -19,6 +20,12 @@ DtdmaProtocol::DtdmaProtocol(const mac::ScenarioParams& params,
 void DtdmaProtocol::on_user_detached(common::UserId id) {
   grid_.release(id);
   queue_.remove(id);
+}
+
+void DtdmaProtocol::on_user_attached([[maybe_unused]] common::UserId id) {
+  // A (re-)attaching user must arrive clean of earlier-stay state.
+  assert(!grid_.has_reservation(id));
+  assert(!queue_.contains(id));
 }
 
 void DtdmaProtocol::release_finished_talkspurts() {

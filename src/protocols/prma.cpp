@@ -1,5 +1,6 @@
 #include "protocols/prma.hpp"
 
+#include <cassert>
 #include <vector>
 
 namespace charisma::protocols {
@@ -11,6 +12,11 @@ PrmaProtocol::PrmaProtocol(const mac::ScenarioParams& params,
       grid_(params.geometry.frames_per_voice_period, options.info_slots) {}
 
 void PrmaProtocol::on_user_detached(common::UserId id) { grid_.release(id); }
+
+void PrmaProtocol::on_user_attached([[maybe_unused]] common::UserId id) {
+  // A (re-)attaching user must arrive clean of earlier-stay reservations.
+  assert(!grid_.has_reservation(id));
+}
 
 common::Time PrmaProtocol::process_frame() {
   // Release reservations of finished talkspurts.

@@ -35,6 +35,7 @@ class PrmaProtocol : public mac::ProtocolEngine {
  protected:
   common::Time process_frame() override;
   void on_user_detached(common::UserId id) override;
+  void on_user_attached(common::UserId id) override;
 
  private:
   PrmaOptions options_;

@@ -1,5 +1,6 @@
 #include "protocols/rama.hpp"
 
+#include <cassert>
 #include <algorithm>
 #include <limits>
 #include <vector>
@@ -20,6 +21,12 @@ RamaProtocol::RamaProtocol(const mac::ScenarioParams& params,
 void RamaProtocol::on_user_detached(common::UserId id) {
   grid_.release(id);
   queue_.remove(id);
+}
+
+void RamaProtocol::on_user_attached([[maybe_unused]] common::UserId id) {
+  // A (re-)attaching user must arrive clean of earlier-stay state.
+  assert(!grid_.has_reservation(id));
+  assert(!queue_.contains(id));
 }
 
 void RamaProtocol::release_finished_talkspurts() {

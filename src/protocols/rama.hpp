@@ -37,6 +37,7 @@ class RamaProtocol : public mac::ProtocolEngine {
  protected:
   common::Time process_frame() override;
   void on_user_detached(common::UserId id) override;
+  void on_user_attached(common::UserId id) override;
   std::int64_t pending_request_count() const override {
     return static_cast<std::int64_t>(queue_.size());
   }

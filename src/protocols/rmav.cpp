@@ -1,6 +1,7 @@
 #include "protocols/rmav.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace charisma::protocols {
 
@@ -10,6 +11,11 @@ RmavProtocol::RmavProtocol(const mac::ScenarioParams& params,
 
 void RmavProtocol::on_user_detached(common::UserId id) {
   std::erase(grants_, id);
+}
+
+void RmavProtocol::on_user_attached([[maybe_unused]] common::UserId id) {
+  // A (re-)attaching user must arrive clean of earlier-stay grants.
+  assert(std::find(grants_.begin(), grants_.end(), id) == grants_.end());
 }
 
 common::Time RmavProtocol::process_frame() {

@@ -43,6 +43,7 @@ class RmavProtocol : public mac::ProtocolEngine {
  protected:
   common::Time process_frame() override;
   void on_user_detached(common::UserId id) override;
+  void on_user_attached(common::UserId id) override;
 
  private:
   RmavOptions options_;

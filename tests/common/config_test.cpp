@@ -85,6 +85,51 @@ TEST(Config, RejectUnknownOnEmptyConfigIsNoop) {
   EXPECT_NO_THROW(cfg.reject_unknown({"anything"}));
 }
 
+TEST(Config, CountAcceptsMagnitudeSuffixes) {
+  KeyValueConfig cfg;
+  cfg.set("users", "250k");
+  EXPECT_EQ(cfg.get_count("users").value(), 250'000);
+  cfg.set("users", "1M");
+  EXPECT_EQ(cfg.get_count("users").value(), 1'000'000);
+  cfg.set("users", "2.5k");
+  EXPECT_EQ(cfg.get_count("users").value(), 2'500);
+  cfg.set("users", "3K");
+  EXPECT_EQ(cfg.get_count("users").value(), 3'000);
+  cfg.set("users", "0.25m");
+  EXPECT_EQ(cfg.get_count("users").value(), 250'000);
+  cfg.set("users", "80");  // plain integers unchanged
+  EXPECT_EQ(cfg.get_count("users").value(), 80);
+  EXPECT_EQ(cfg.get_count_or("absent", 42), 42);
+  EXPECT_FALSE(cfg.get_count("absent").has_value());
+}
+
+TEST(Config, CountRejectsUnknownSuffixNamingTheKey) {
+  KeyValueConfig cfg;
+  cfg.set("voice_users", "5q");
+  try {
+    cfg.get_count("voice_users");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message must point at the knob the bad value arrived under.
+    EXPECT_NE(std::string(e.what()).find("voice_users"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("5q"), std::string::npos);
+  }
+  for (const char* bad : {"1G", "k", "abc", "2.5kk", "1 M"}) {
+    cfg.set("voice_users", bad);
+    EXPECT_THROW(cfg.get_count("voice_users"), std::invalid_argument) << bad;
+  }
+  // A fractional count that does not land on an integer is an error, not a
+  // silent rounding.
+  cfg.set("voice_users", "1.0005k");
+  EXPECT_THROW(cfg.get_count("voice_users"), std::invalid_argument);
+}
+
+TEST(Config, ParseCountIsUsableOnRawStrings) {
+  EXPECT_EQ(KeyValueConfig::parse_count("ENV_KNOB", "750k"), 750'000);
+  EXPECT_THROW(KeyValueConfig::parse_count("ENV_KNOB", "750x"),
+               std::invalid_argument);
+}
+
 TEST(Config, Contains) {
   KeyValueConfig cfg;
   cfg.set("k", "v");

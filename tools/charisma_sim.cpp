@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@ void print_help() {
 Core:
   protocol=charisma|dtdma_vr|dtdma_fr|drma|rama|rmav|prma|all
   voice_users=N data_users=N queue=0|1 seed=N
+                       population counts accept magnitude suffixes:
+                       voice_users=250k, data_users=1M (k = 1e3, M = 1e6)
   warmup=SECONDS measure=SECONDS replications=N
 
 Sweeps (optional):
@@ -70,6 +73,12 @@ Mobility / multi-cell (cells >= 2 enables the CellularWorld scenario):
                        default 1 = every cell on the same channel)
   wrap=0|1             wrap distances around a full-ring hex cluster
                        (removes layout-edge effects; default 0)
+  band=F               pilot-band radius in metres: a user holds channel
+                       and protocol state only in cells within this
+                       distance (sparse presence, memory O(band) per
+                       user). 0 = every cell, the historical dense world,
+                       bit for bit (default 0). A finite radius should
+                       cover the attachment geometry (>= site spacing).
   interference=F       per-attached-user activity factor of the uplink
                        co-channel interference (SINR) plane; 0 disables
                        (default 0.4 for layout=hex, 0 for line)
@@ -152,7 +161,8 @@ const std::vector<std::string> kKnownKeys = {
     "target_ber", "csi_noise_db", "csi_validity_frames", "ack_loss",
     "tx_power_w", "channel", "cells", "threads", "handoff_hysteresis_db",
     "mobility",
-    "cell_radius_m", "layout", "reuse", "wrap", "interference", "verify",
+    "cell_radius_m", "layout", "reuse", "wrap", "band", "interference",
+    "verify",
     "request_slots", "info_slots", "pilot_slots", "talkspurt_s", "silence_s",
     "burst_packets", "interarrival_s", "pv", "pd", "overload", "mmpp_ratio",
     "mmpp_sojourn_s", "barring", "outage", "flash", "diurnal", "fairness",
@@ -161,8 +171,15 @@ const std::vector<std::string> kKnownKeys = {
 
 mac::ScenarioParams scenario_from(const common::KeyValueConfig& config) {
   mac::ScenarioParams params;
-  params.num_voice_users = config.get_int_or("voice_users", 80);
-  params.num_data_users = config.get_int_or("data_users", 0);
+  const auto count_knob = [&config](const char* key, long long fallback) {
+    const long long n = config.get_count_or(key, fallback);
+    if (n < 0 || n > std::numeric_limits<int>::max()) {
+      throw std::invalid_argument(std::string(key) + "= is out of range");
+    }
+    return static_cast<int>(n);
+  };
+  params.num_voice_users = count_knob("voice_users", 80);
+  params.num_data_users = count_knob("data_users", 0);
   params.request_queue = config.get_bool_or("queue", true);
   params.seed = static_cast<std::uint64_t>(config.get_int_or("seed", 1));
 
@@ -298,6 +315,10 @@ mac::CellularConfig cellular_from(const common::KeyValueConfig& config,
                           : mac::SiteLayoutConfig::Kind::kLine;
   world.layout.reuse_factor = config.get_int_or("reuse", 1);
   world.layout.wrap_around = config.get_bool_or("wrap", false);
+  world.pilot_band_radius_m = config.get_double_or("band", 0.0);
+  if (world.pilot_band_radius_m < 0.0) {
+    throw std::invalid_argument("band= must be >= 0 (0 = every cell)");
+  }
   // Hex cells carry co-channel interference by default; the line world
   // keeps its historical interference-free behaviour unless asked.
   world.interference_activity =
