@@ -16,9 +16,11 @@
 #include <ctime>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <random>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -112,6 +114,34 @@ inline long long env_count(const char* name, long long fallback) {
                       : fallback;
 }
 
+/// env_count narrowed to int: the suffix-aware replacement for env_int on
+/// integer knobs (CELLS=1k works; an unknown suffix throws naming the
+/// knob, instead of atoi's silent truncation).
+inline int env_count_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long long n = common::KeyValueConfig::parse_count(name, v);
+  if (n < std::numeric_limits<int>::min() ||
+      n > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument(std::string(name) +
+                                ": count does not fit in int: " + v);
+  }
+  return static_cast<int>(n);
+}
+
+/// Duration knobs: a plain decimal ("0.3") passes through unchanged;
+/// anything with a trailing suffix goes through parse_count, which accepts
+/// k/M magnitudes and rejects unknown suffixes naming the knob (so
+/// MEASURE=10x fails loudly instead of atof-truncating to 10).
+inline double env_seconds(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end != v && *end == '\0') return d;
+  return static_cast<double>(common::KeyValueConfig::parse_count(name, v));
+}
+
 /// Peak resident set of this process so far, in bytes (Linux reports
 /// ru_maxrss in kilobytes). Monotone — use current_rss_bytes for deltas.
 inline long long peak_rss_bytes() {
@@ -139,15 +169,15 @@ inline long long current_rss_bytes() {
 
 inline experiment::RunSpec standard_spec(int default_reps = 2) {
   experiment::RunSpec spec;
-  spec.warmup_s = env_double("CHARISMA_BENCH_WARMUP", 4.0);
-  spec.measure_s = env_double("CHARISMA_BENCH_MEASURE", 12.0);
-  spec.replications = env_int("CHARISMA_BENCH_REPS", default_reps);
+  spec.warmup_s = env_seconds("CHARISMA_BENCH_WARMUP", 4.0);
+  spec.measure_s = env_seconds("CHARISMA_BENCH_MEASURE", 12.0);
+  spec.replications = env_count_int("CHARISMA_BENCH_REPS", default_reps);
   return spec;
 }
 
 inline experiment::ParallelRunner standard_runner() {
   return experiment::ParallelRunner(
-      static_cast<unsigned>(env_int("CHARISMA_BENCH_THREADS", 0)));
+      static_cast<unsigned>(env_count_int("CHARISMA_BENCH_THREADS", 0)));
 }
 
 inline void print_banner(const std::string& what, const std::string& paper) {

@@ -14,8 +14,20 @@
 //   CHARISMA_BENCH_WORLD_CELLS    comma list of cell counts (default 2,4,8)
 //   CHARISMA_BENCH_WORLD_THREADS  comma list of thread counts
 //                                 (default 1,2,4,<hardware>)
+//   CHARISMA_BENCH_WORLD_SHARDS   comma list of coordinator shard counts
+//                                 for the shard-overhead stage (0 resolves
+//                                 to hardware; default 1,2,4,<hardware>)
 //   CHARISMA_BENCH_WORLD_PROTOCOL protocol id (default dtdma_fr)
 //   CHARISMA_BENCH_JSON_DIR       where BENCH_world.json lands (default .)
+// Integer knobs take k/M magnitude suffixes (CELLS=1k); malformed values
+// and unknown suffixes abort naming the knob.
+//
+// Shard-overhead stage (PR 9): the world plane (mobility, band rosters,
+// pilot filtering, attachment) is computed over coordinator shards whose
+// proposals merge in user order — bit-identity is re-verified across the
+// shard list on every run (non-zero exit on violation), and the epoch
+// wall clock is split into serial-plane (coordinator merge/apply) vs
+// sharded world-plane vs per-cell plane/frame buckets.
 //
 // Memory stage (sparse presence, PR 8): one large hexagonal world with a
 // finite pilot-band radius, measured for resident bytes per user against a
@@ -44,17 +56,21 @@ namespace {
 
 using namespace charisma;
 
-std::vector<unsigned> parse_list(const std::string& csv) {
+std::vector<unsigned> parse_list(const char* name, const std::string& csv) {
   std::vector<unsigned> values;
   std::stringstream stream(csv);
   std::string token;
   while (std::getline(stream, token, ',')) {
     if (token.empty()) continue;  // tolerate trailing/duplicate commas
-    try {
-      values.push_back(static_cast<unsigned>(std::stoul(token)));
-    } catch (const std::exception&) {
-      std::cerr << "ignoring malformed list entry '" << token << "'\n";
+    // parse_count accepts k/M suffixes and throws on anything malformed,
+    // naming the knob — a typo'd list aborts instead of silently running
+    // a different sweep.
+    const long long n = common::KeyValueConfig::parse_count(name, token);
+    if (n < 0) {
+      throw std::invalid_argument(std::string(name) +
+                                  ": list entries must be >= 0: " + token);
     }
+    values.push_back(static_cast<unsigned>(n));
   }
   return values;
 }
@@ -157,20 +173,24 @@ int main() {
       "batched pilots",
       "CHARISMA extension (no paper figure); PR 4 trajectory point");
 
-  const int voice = bench::env_int("CHARISMA_BENCH_WORLD_VOICE", 96);
-  const int data = bench::env_int("CHARISMA_BENCH_WORLD_DATA", 24);
+  const int voice = bench::env_count_int("CHARISMA_BENCH_WORLD_VOICE", 96);
+  const int data = bench::env_count_int("CHARISMA_BENCH_WORLD_DATA", 24);
   const double measure_s =
-      bench::env_double("CHARISMA_BENCH_WORLD_MEASURE", 8.0);
-  const int reps = std::max(1, bench::env_int("CHARISMA_BENCH_WORLD_REPS", 3));
+      bench::env_seconds("CHARISMA_BENCH_WORLD_MEASURE", 8.0);
+  const int reps =
+      std::max(1, bench::env_count_int("CHARISMA_BENCH_WORLD_REPS", 3));
   const double warmup_s = std::min(0.5, measure_s * 0.25);
   const unsigned hardware =
       std::max(1u, std::thread::hardware_concurrency());
   const auto protocol = protocols::parse_protocol(
       env_list("CHARISMA_BENCH_WORLD_PROTOCOL", "dtdma_fr"));
 
-  auto cells_list = parse_list(env_list("CHARISMA_BENCH_WORLD_CELLS", "2,4,8"));
-  auto threads_list = parse_list(env_list(
-      "CHARISMA_BENCH_WORLD_THREADS", "1,2,4," + std::to_string(hardware)));
+  auto cells_list = parse_list("CHARISMA_BENCH_WORLD_CELLS",
+                               env_list("CHARISMA_BENCH_WORLD_CELLS", "2,4,8"));
+  auto threads_list = parse_list(
+      "CHARISMA_BENCH_WORLD_THREADS",
+      env_list("CHARISMA_BENCH_WORLD_THREADS",
+               "1,2,4," + std::to_string(hardware)));
   // 0 means hardware concurrency everywhere else; resolve it here so the
   // sort below cannot place a "0" entry ahead of the serial reference.
   for (unsigned& t : threads_list) {
@@ -264,11 +284,123 @@ int main() {
     std::cout << '\n';
   }
 
+  // --- Shard-overhead stage: the coordinator plane, split over shards ---
+  // threads=1 on purpose: with the pool out of the picture this measures
+  // the pure cost of the propose/merge split (arena writes + coordinator
+  // replay) against the monolithic serial plane, which is the regression
+  // the 1-CPU container can actually catch. Bit-identity across the shard
+  // list is re-verified on every run and feeds the exit code.
+  auto shards_list = parse_list(
+      "CHARISMA_BENCH_WORLD_SHARDS",
+      env_list("CHARISMA_BENCH_WORLD_SHARDS",
+               "1,2,4," + std::to_string(hardware)));
+  for (unsigned& s : shards_list) {
+    if (s == 0) s = hardware;  // 0 = auto resolves to hardware, like threads
+  }
+  shards_list.push_back(1);  // the serial-plane reference, always first
+  std::sort(shards_list.begin(), shards_list.end());
+  shards_list.erase(std::unique(shards_list.begin(), shards_list.end()),
+                    shards_list.end());
+
+  struct ShardPoint {
+    unsigned shards;
+    double wall_s;
+    double overhead;        // wall / shards=1 wall - 1 (noise floor: the
+                            // cell plane dwarfs the world plane)
+    double plane_overhead;  // (serial+shard plane s) / shards=1 - 1 — the
+                            // coordinator cost the shard knob actually moves
+    mac::CellularWorld::EpochTimings timings;
+    bool deterministic;
+  };
+  const int shard_cells =
+      cells_list.empty() ? 4 : static_cast<int>(cells_list.front());
+  common::TextTable shard_table(
+      "Coordinator shard overhead (threads=1, " +
+      std::to_string(shard_cells) + " cells); epoch split serial/shard/cell");
+  shard_table.set_header({"shards", "wall (s)", "wall ovh", "plane ovh",
+                          "serial ms/ep", "shard ms/ep", "cell ms/ep",
+                          "bit-identical"});
+  std::vector<ShardPoint> shard_points;
+  double shard_ref_wall = 0.0;
+  double shard_ref_plane = 0.0;
+  mac::ProtocolMetrics shard_ref_metrics;
+  std::int64_t shard_ref_handoffs = 0;
+  for (unsigned shards : shards_list) {
+    auto cfg = world_config(shard_cells, /*threads=*/1, voice, data);
+    cfg.num_shards = shards;
+    double best_wall = 0.0;
+    double best_plane = 0.0;  // min over reps, like the wall
+    mac::CellularWorld::EpochTimings timings{};
+    mac::ProtocolMetrics m;
+    std::int64_t handoffs = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      mac::CellularWorld world(cfg, [&](const mac::ScenarioParams& p) {
+        return protocols::make_protocol(protocol, p);
+      });
+      const auto start = std::chrono::steady_clock::now();
+      world.run(warmup_s, measure_s);
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start;
+      if (rep == 0 || wall.count() < best_wall) {
+        best_wall = wall.count();
+        timings = world.epoch_timings();
+      }
+      const auto t = world.epoch_timings();
+      const double plane = t.serial_plane_s + t.shard_plane_s;
+      if (rep == 0 || plane < best_plane) best_plane = plane;
+      m = world.aggregate_metrics();
+      handoffs = world.handoffs();
+    }
+    if (shards == shards_list.front()) {
+      shard_ref_wall = best_wall;
+      shard_ref_plane = best_plane;
+      shard_ref_metrics = m;
+      shard_ref_handoffs = handoffs;
+    }
+    ShardPoint point{shards, best_wall, best_wall / shard_ref_wall - 1.0,
+                     shard_ref_plane > 0.0
+                         ? best_plane / shard_ref_plane - 1.0
+                         : 0.0,
+                     timings,
+                     m == shard_ref_metrics && handoffs == shard_ref_handoffs};
+    shard_points.push_back(point);
+    const double epochs =
+        timings.epochs > 0 ? static_cast<double>(timings.epochs) : 1.0;
+    shard_table.add_row(
+        {common::TextTable::num(shards, 0),
+         common::TextTable::num(point.wall_s, 4),
+         common::TextTable::num(point.overhead * 100.0, 1) + "%",
+         common::TextTable::num(point.plane_overhead * 100.0, 1) + "%",
+         common::TextTable::num(timings.serial_plane_s * 1e3 / epochs, 3),
+         common::TextTable::num(timings.shard_plane_s * 1e3 / epochs, 3),
+         common::TextTable::num(timings.cell_plane_s * 1e3 / epochs, 3),
+         point.deterministic ? "yes" : "NO"});
+  }
+  std::cout << '\n';
+  shard_table.print(std::cout);
+
+  double max_shard_overhead = 0.0;
+  double max_plane_overhead = 0.0;
+  for (const auto& p : shard_points) {
+    all_deterministic = all_deterministic && p.deterministic;
+    max_shard_overhead = std::max(max_shard_overhead, p.overhead);
+    max_plane_overhead = std::max(max_plane_overhead, p.plane_overhead);
+  }
+  std::cout << "all shard counts bit-identical to the serial plane: "
+            << (shard_points.back().deterministic && all_deterministic
+                    ? "yes"
+                    : "NO — BUG")
+            << "\nmax sharding overhead vs shards=1 (threads=1): "
+            << common::TextTable::num(max_plane_overhead * 100.0, 1)
+            << "% of the world plane (wall-clock delta "
+            << common::TextTable::num(max_shard_overhead * 100.0, 1)
+            << "%, noise-dominated by the cell plane on small worlds)\n";
+
   // --- Memory stage: sparse presence bytes/user vs a dense calibration ---
   const long long mem_users =
       bench::env_count("CHARISMA_BENCH_WORLD_USERS", 100'000);
   const int mem_cells =
-      bench::env_int("CHARISMA_BENCH_WORLD_MEMORY_CELLS", 91);
+      bench::env_count_int("CHARISMA_BENCH_WORLD_MEMORY_CELLS", 91);
   const double band_radius_m =
       bench::env_double("CHARISMA_BENCH_WORLD_BAND", 1200.0);
   std::ostringstream memory_fields;
@@ -328,7 +460,30 @@ int main() {
          << ",\n      \"all_thread_counts_bit_identical_to_serial\": "
          << (all_deterministic ? "true" : "false")
          << ",\n      \"best_speedup_cells4plus_threads4plus\": "
-         << best_speedup << ",\n      \"points\": [\n";
+         << best_speedup
+         << ",\n      \"max_shard_overhead_vs_serial_plane\": "
+         << max_plane_overhead
+         << ",\n      \"max_shard_wall_overhead_vs_shards1\": "
+         << max_shard_overhead
+         << ",\n      \"shard_stage\": {\"cells\": " << shard_cells
+         << ", \"threads\": 1, \"points\": [\n";
+  for (std::size_t i = 0; i < shard_points.size(); ++i) {
+    const auto& p = shard_points[i];
+    const double epochs =
+        p.timings.epochs > 0 ? static_cast<double>(p.timings.epochs) : 1.0;
+    fields << "        {\"shards\": " << p.shards << ", \"wall_s\": "
+           << p.wall_s << ", \"overhead_vs_shards1\": " << p.overhead
+           << ", \"plane_overhead_vs_shards1\": " << p.plane_overhead
+           << ", \"serial_plane_ms_per_epoch\": "
+           << p.timings.serial_plane_s * 1e3 / epochs
+           << ", \"shard_plane_ms_per_epoch\": "
+           << p.timings.shard_plane_s * 1e3 / epochs
+           << ", \"cell_plane_ms_per_epoch\": "
+           << p.timings.cell_plane_s * 1e3 / epochs
+           << ", \"bit_identical\": " << (p.deterministic ? "true" : "false")
+           << "}" << (i + 1 < shard_points.size() ? "," : "") << "\n";
+  }
+  fields << "      ]},\n      \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     fields << "        {\"cells\": " << p.cells << ", \"threads\": "

@@ -99,8 +99,8 @@ double benchmark_bank_lazy(int users, int frames, double touch_ratio,
 }
 
 void run_hot_path_ablation() {
-  const int users = bench::env_int("CHARISMA_BENCH_BANK_USERS", 10000);
-  const int frames = bench::env_int("CHARISMA_BENCH_BANK_FRAMES", 400);
+  const int users = bench::env_count_int("CHARISMA_BENCH_BANK_USERS", 10000);
+  const int frames = bench::env_count_int("CHARISMA_BENCH_BANK_FRAMES", 400);
   const double touch_ratio = 0.10;
   const int simd_width = 8;
 

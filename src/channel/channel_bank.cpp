@@ -664,6 +664,62 @@ void ChannelBank::set_interference_db_all(std::span<const double> db) {
   }
 }
 
+void ChannelBank::set_mean_snr_db_range(std::size_t first,
+                                        std::span<const double> db) {
+  if (first + db.size() > configs_.size()) {
+    throw std::out_of_range("ChannelBank::set_mean_snr_db_range: bad range");
+  }
+  const bool sparse = vacant_count_ != 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const std::size_t u = first + i;
+    if (sparse && vacant_[u]) continue;  // free-list row: never read
+    configs_[u].mean_snr_db = db[i];
+    mean_snr_db_[u] = db[i];
+    mean_snr_linear_[u] = common::from_db(db[i]);
+  }
+}
+
+void ChannelBank::set_interference_db_range(std::size_t first,
+                                            std::span<const double> db) {
+  if (first + db.size() > configs_.size()) {
+    throw std::out_of_range(
+        "ChannelBank::set_interference_db_range: bad range");
+  }
+  const bool sparse = vacant_count_ != 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const std::size_t u = first + i;
+    if (sparse && vacant_[u]) continue;
+    interference_db_[u] = db[i];
+    interference_linear_[u] = common::from_db(-db[i]);
+  }
+}
+
+void ChannelBank::snr_db_range(std::size_t first, std::span<double> out) const {
+  if (first + out.size() > configs_.size()) {
+    throw std::out_of_range("ChannelBank::snr_db_range: bad range");
+  }
+  if (lazy_) {
+    // Materialization walks bank-wide stride/jump bookkeeping — not a
+    // per-row operation; lazy banks must snapshot through snr_db_all.
+    throw std::logic_error("ChannelBank::snr_db_range: bank is lazy");
+  }
+  constexpr double kTenOverLn10 = 4.342944819032518;  // 10 / ln(10)
+  const double* mean_db = mean_snr_db_.data();
+  const double* shadow = shadow_db_.data();
+  const double* fade = fading_power_.data();
+  const double* interf = interference_db_.data();
+  double* dst = out.data();
+  const bool sparse = vacant_count_ != 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::size_t u = first + i;
+    if (sparse && vacant_[u]) continue;  // caller owns out's stale entries
+    // Subtracting the interference penalty last keeps the interference-free
+    // value (penalty 0.0) bit-identical to the pre-SINR pilot plane.
+    dst[i] = mean_db[u] + shadow[u] + kTenOverLn10 * std::log(fade[u]) -
+             interf[u];
+  }
+}
+
 double ChannelBank::snr_db(std::size_t user) const {
   return common::to_db(snr_linear(user));
 }

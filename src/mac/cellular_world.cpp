@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -19,6 +20,24 @@ constexpr double kLn10 = 2.302585092994046;
 /// Pilot level of a dark cell: far below any real link budget, so neither
 /// the hysteresis rule nor the initial argmax ever selects it.
 constexpr double kDarkPilotDb = -1.0e9;
+
+/// Scoped accumulator for the epoch-loop wall-clock split.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& bucket)
+      : bucket_(bucket), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    bucket_ += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& bucket_;
+  std::chrono::steady_clock::time_point start_;
+};
 }  // namespace
 
 CellularWorld::CellularWorld(const CellularConfig& config,
@@ -78,17 +97,35 @@ CellularWorld::CellularWorld(const CellularConfig& config,
   unsigned threads = config_.num_threads == 0
                          ? std::thread::hardware_concurrency()
                          : config_.num_threads;
-  // A round never has more than num_cells indices; surplus workers would
-  // only be woken twice per epoch to claim nothing.
-  threads = std::min(threads, static_cast<unsigned>(config_.num_cells));
+  if (threads == 0) threads = 1;  // hardware_concurrency may report 0
+  // Shard resolution: 0 = match the requested thread count (so a parallel
+  // world shards its coordinator plane by default), clamped to the
+  // population — an empty shard would never refresh its proposal arena.
+  const auto users_u =
+      static_cast<unsigned>(std::max(1, config_.params.total_users()));
+  num_shards_ = config_.num_shards == 0 ? threads : config_.num_shards;
+  num_shards_ = std::min(std::max(num_shards_, 1u), users_u);
+  // A round never has more indices than max(cells, shards); surplus
+  // workers would only be woken twice per epoch to claim nothing.
+  threads = std::min(
+      threads, std::max(static_cast<unsigned>(config_.num_cells), num_shards_));
   if (threads > 1) {
     pool_ = std::make_unique<experiment::WorkerPool>(threads);
   }
+  // With spare workers (threads > cells) and an eager bank, each cell's
+  // plane task splits into contiguous row strips. A lazy bank keeps one
+  // task per cell: reading it back materializes deferred rows, which
+  // mutates shared bank state.
+  if (pool_ && !cells_[0]->channel_bank().lazy()) {
+    plane_strips_ = std::max(
+        1, static_cast<int>(pool_->thread_count()) / config_.num_cells);
+  }
 
   const auto users = static_cast<std::size_t>(config_.params.total_users());
-  site_index_ = SiteIndex(layout_, config_.pilot_band_radius_m);
+  site_index_.rebuild(layout_, config_.pilot_band_radius_m);
   attached_.assign(users, 0);
   band_.assign(users, {});
+  shard_arenas_.resize(num_shards_);
   plane_rows_.assign(static_cast<std::size_t>(config_.num_cells), {});
   attach_counts_.assign(static_cast<std::size_t>(config_.num_cells), 0);
   cell_load_.assign(static_cast<std::size_t>(config_.num_cells), 0.0);
@@ -130,49 +167,123 @@ std::vector<int> CellularWorld::band_cells(common::UserId user) const {
   return out;
 }
 
-void CellularWorld::update_bands(bool include_attached) {
-  // Coordinator step, user-id order throughout: every engine sees admits
-  // and releases in the same deterministic sequence regardless of thread
-  // count, so the banks' free lists — and with them every later draw —
-  // are bit-identical between serial and parallel runs.
-  const int users = config_.params.total_users();
-  for (int u = 0; u < users; ++u) {
-    auto& band = band_[static_cast<std::size_t>(u)];
-    cell_scratch_.clear();
-    site_index_.cells_near(mobility_.position(u), cell_scratch_);
-    if (include_attached) {
-      // The attached cell is pinned into the band whatever the geometry
-      // says: presence must never be released out from under the user.
-      const int a = attached_[static_cast<std::size_t>(u)];
-      const auto it =
-          std::lower_bound(cell_scratch_.begin(), cell_scratch_.end(), a);
-      if (it == cell_scratch_.end() || *it != a) cell_scratch_.insert(it, a);
+void CellularWorld::for_each_user_shard(
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t users = attached_.size();
+  if (pool_) {
+    pool_->for_each_range(users, num_shards_, fn);
+  } else {
+    // Same decomposition formula as WorkerPool::for_each_range, so the
+    // shard boundaries — and with them the proposal arenas — never depend
+    // on whether a pool exists.
+    const std::size_t shards = std::min<std::size_t>(num_shards_, users);
+    for (std::size_t s = 0; s < shards; ++s) {
+      fn(s, s * users / shards, (s + 1) * users / shards);
     }
-    // Two-pointer diff old band vs. new cell set (both ascending).
-    band_scratch_.clear();
-    std::size_t i = 0;
-    const auto uid = static_cast<common::UserId>(u);
-    for (const int c : cell_scratch_) {
-      while (i < band.size() && band[i].cell < c) {
-        cells_[static_cast<std::size_t>(band[i].cell)]->band_release(uid);
-        ++i;
+  }
+}
+
+void CellularWorld::advance_mobility(common::Time t) {
+  // Phase A (sharded): walk every trajectory draw-free, suspending
+  // random-waypoint arrivals with their exact walk state.
+  for_each_user_shard([this, t](std::size_t s, std::size_t begin,
+                                std::size_t end) {
+    auto& arena = shard_arenas_[s];
+    arena.suspended.clear();
+    mobility_.advance_span(t, static_cast<int>(begin), static_cast<int>(end),
+                           arena.suspended);
+  });
+  // Phase B (coordinator): finish the suspended walks in ascending user
+  // order — shards cover ascending contiguous ranges, so arena order is
+  // user order — consuming the shared stream exactly as serial advance_to
+  // would.
+  for (auto& arena : shard_arenas_) {
+    mobility_.resume(arena.suspended);
+  }
+  mobility_.commit(t);
+}
+
+void CellularWorld::propose_bands(bool include_attached) {
+  for_each_user_shard([this, include_attached](std::size_t s,
+                                               std::size_t begin,
+                                               std::size_t end) {
+    auto& arena = shard_arenas_[s];
+    arena.band_cells.clear();
+    arena.band_offsets.clear();
+    arena.band_offsets.push_back(0);
+    for (std::size_t u = begin; u < end; ++u) {
+      const std::size_t tail = arena.band_cells.size();
+      site_index_.cells_near(mobility_.position(static_cast<int>(u)),
+                             arena.band_cells, arena.mark_scratch);
+      if (include_attached) {
+        // The attached cell is pinned into the band whatever the geometry
+        // says: presence must never be released out from under the user.
+        const int a = attached_[u];
+        const auto first =
+            arena.band_cells.begin() + static_cast<std::ptrdiff_t>(tail);
+        const auto it = std::lower_bound(first, arena.band_cells.end(), a);
+        if (it == arena.band_cells.end() || *it != a) {
+          arena.band_cells.insert(it, a);
+        }
       }
-      if (i < band.size() && band[i].cell == c) {
-        band_scratch_.push_back(band[i]);  // staying: keep the filter state
-        ++i;
-      } else {
-        MobileUser& mu =
-            cells_[static_cast<std::size_t>(c)]->band_admit(uid, false);
-        band_scratch_.push_back(BandPilot{
-            c, static_cast<std::uint32_t>(mu.channel().index()), 0.0, true});
-      }
+      arena.band_offsets.push_back(
+          static_cast<std::uint32_t>(arena.band_cells.size()));
     }
-    while (i < band.size()) {
+  });
+}
+
+void CellularWorld::apply_band_proposals() {
+  // Coordinator merge, ascending user id throughout: every engine sees
+  // admits and releases in the same deterministic sequence regardless of
+  // shard or thread count, so the banks' free lists — and with them every
+  // later draw — are bit-identical between serial and parallel runs.
+  const std::size_t users = attached_.size();
+  const std::size_t shards = std::min<std::size_t>(num_shards_, users);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto& arena = shard_arenas_[s];
+    const std::size_t begin = s * users / shards;
+    const std::size_t end = (s + 1) * users / shards;
+    for (std::size_t u = begin; u < end; ++u) {
+      const std::size_t k = u - begin;
+      const std::uint32_t lo = arena.band_offsets[k];
+      const std::uint32_t hi = arena.band_offsets[k + 1];
+      update_user_band(static_cast<int>(u),
+                       {arena.band_cells.data() + lo, hi - lo});
+    }
+  }
+}
+
+void CellularWorld::update_user_band(int u, std::span<const int> cells) {
+  auto& band = band_[static_cast<std::size_t>(u)];
+  // Two-pointer diff old band vs. new cell set (both ascending).
+  band_scratch_.clear();
+  std::size_t i = 0;
+  const auto uid = static_cast<common::UserId>(u);
+  for (const int c : cells) {
+    while (i < band.size() && band[i].cell < c) {
       cells_[static_cast<std::size_t>(band[i].cell)]->band_release(uid);
       ++i;
     }
-    band.swap(band_scratch_);
+    if (i < band.size() && band[i].cell == c) {
+      band_scratch_.push_back(band[i]);  // staying: keep the filter state
+      ++i;
+    } else {
+      MobileUser& mu =
+          cells_[static_cast<std::size_t>(c)]->band_admit(uid, false);
+      band_scratch_.push_back(BandPilot{
+          c, static_cast<std::uint32_t>(mu.channel().index()), 0.0, true});
+    }
   }
+  while (i < band.size()) {
+    cells_[static_cast<std::size_t>(band[i].cell)]->band_release(uid);
+    ++i;
+  }
+  band.swap(band_scratch_);
+}
+
+void CellularWorld::update_bands(bool include_attached) {
+  propose_bands(include_attached);
+  apply_band_proposals();
 }
 
 void CellularWorld::resize_plane_rows() {
@@ -235,7 +346,6 @@ void CellularWorld::update_cell_snr_plane(int c) {
              : nullptr;
   const std::vector<int>& interferers =
       cochannel_[static_cast<std::size_t>(c)];
-  double penalty_sum = 0.0;
   for (const BandMember& m : band) {
     const Vec2 pos = mobility_.position(static_cast<int>(m.id));
     const double d_sq =
@@ -251,33 +361,107 @@ void CellularWorld::update_cell_snr_plane(int c) {
         const double db = path_loss_c_db_ - path_loss_half_k_ * std::log(ds);
         inr += load * common::from_db(db);
       }
-      const double penalty = common::to_db(1.0 + inr);
-      irow[m.slot] = penalty;
-      penalty_sum += penalty;
+      irow[m.slot] = common::to_db(1.0 + inr);
     }
   }
   // Same per-cell bank-op order as the dense world: mean plane,
-  // interference plane, epoch metric, pilot snapshot. The snapshot reads
-  // every band member, so under a lazy bank the epoch is a full band
-  // re-anchor, bounding any member's deferred-jump stride by the epoch
-  // period. A dark cell's bank is still fed the true plane (fading state
-  // and draw order must not depend on the outage schedule); only the
-  // *broadcast* pilot vanishes, which blend_pilots imposes from the dark
-  // flags without ever reading the snapshot.
+  // interference plane, pilot snapshot. The snapshot reads every band
+  // member, so under a lazy bank the epoch is a full band re-anchor,
+  // bounding any member's deferred-jump stride by the epoch period. A
+  // dark cell's bank is still fed the true plane (fading state and draw
+  // order must not depend on the outage schedule); only the *broadcast*
+  // pilot vanishes, which the blend imposes from the dark flags without
+  // ever reading the snapshot. The per-epoch penalty-mean metric is
+  // replayed by the coordinator (note_interference_epochs) after the
+  // barrier.
   bank.set_mean_snr_db_all({row, rows});
   if (interf) {
     bank.set_interference_db_all({irow, rows});
-    cell.note_interference_epoch(
-        band.empty() ? 0.0
-                     : penalty_sum / static_cast<double>(band.size()));
   }
   bank.snr_db_all({row, rows});
 }
 
+void CellularWorld::update_plane_strip(int c, int strip) {
+  // Rows [strip, strip+1) of the cell's plane_strips_-way contiguous row
+  // partition: the same per-row arithmetic as update_cell_snr_plane,
+  // iterated by bank row instead of band member. The occupied rows biject
+  // with the band, every write is per-row, and the bank's range APIs skip
+  // vacant rows — so the strip count never changes a bit anywhere.
+  auto& cell = *cells_[static_cast<std::size_t>(c)];
+  auto& bank = cell.channel_bank();
+  const std::size_t rows = bank.size();
+  const auto strips = static_cast<std::size_t>(plane_strips_);
+  const std::size_t r0 = static_cast<std::size_t>(strip) * rows / strips;
+  const std::size_t r1 = (static_cast<std::size_t>(strip) + 1) * rows / strips;
+  if (r0 == r1) return;
+  const bool interf = interference_enabled();
+  double* row = plane_rows_[static_cast<std::size_t>(c)].data();
+  double* irow =
+      interf ? interference_rows_[static_cast<std::size_t>(c)].data()
+             : nullptr;
+  const std::vector<int>& interferers =
+      cochannel_[static_cast<std::size_t>(c)];
+  for (std::size_t r = r0; r < r1; ++r) {
+    const MobileUser* mu = cell.user_at_slot(r);
+    if (mu == nullptr) continue;  // vacant row
+    const Vec2 pos = mobility_.position(static_cast<int>(mu->id()));
+    const double d_sq =
+        std::max(layout_.distance_sq(pos, c), min_distance_sq_m2_);
+    row[r] = path_loss_c_db_ - path_loss_half_k_ * std::log(d_sq);
+    if (interf) {
+      double inr = 0.0;
+      for (const int s : interferers) {
+        const double load = cell_load_[static_cast<std::size_t>(s)];
+        if (load <= 0.0) continue;
+        const double ds =
+            std::max(layout_.distance_sq(pos, s), min_distance_sq_m2_);
+        const double db = path_loss_c_db_ - path_loss_half_k_ * std::log(ds);
+        inr += load * common::from_db(db);
+      }
+      irow[r] = common::to_db(1.0 + inr);
+    }
+  }
+  bank.set_mean_snr_db_range(r0, {row + r0, r1 - r0});
+  if (interf) {
+    bank.set_interference_db_range(r0, {irow + r0, r1 - r0});
+  }
+  bank.snr_db_range(r0, {row + r0, r1 - r0});
+}
+
+void CellularWorld::note_interference_epochs() {
+  if (!interference_enabled()) return;
+  // Coordinator replay of each cell's penalty mean: band order is id
+  // order, exactly the order the historical inline loop accumulated in,
+  // so the sum — and the metric — is bitwise unchanged.
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    auto& cell = *cells_[c];
+    const auto& band = cell.band();
+    const double* irow = interference_rows_[c].data();
+    double penalty_sum = 0.0;
+    for (const BandMember& m : band) {
+      penalty_sum += irow[m.slot];
+    }
+    cell.note_interference_epoch(
+        band.empty() ? 0.0
+                     : penalty_sum / static_cast<double>(band.size()));
+  }
+}
+
 void CellularWorld::update_snr_planes() {
-  for_each_cell([this](std::size_t c) {
-    update_cell_snr_plane(static_cast<int>(c));
-  });
+  if (pool_ && plane_strips_ > 1) {
+    pool_->for_each(
+        cells_.size() * static_cast<std::size_t>(plane_strips_),
+        [this](std::size_t i) {
+          const auto strips = static_cast<std::size_t>(plane_strips_);
+          update_plane_strip(static_cast<int>(i / strips),
+                             static_cast<int>(i % strips));
+        });
+  } else {
+    for_each_cell([this](std::size_t c) {
+      update_cell_snr_plane(static_cast<int>(c));
+    });
+  }
+  note_interference_epochs();
 }
 
 void CellularWorld::update_cell_loads() {
@@ -288,42 +472,47 @@ void CellularWorld::update_cell_loads() {
   }
 }
 
-void CellularWorld::blend_pilots(double alpha) {
-  // Band-local pilot filtering: each user's band entries blend their
-  // cell's slot-indexed snapshot row. Iteration is user-ascending then
-  // cell-ascending — the dense plane's exact scan order.
-  const std::size_t users = attached_.size();
+void CellularWorld::blend_user_pilots(std::size_t u, double alpha) {
+  // Band-local pilot filtering: the user's band entries blend their
+  // cell's slot-indexed snapshot row, cell-ascending — the dense plane's
+  // exact per-user scan order. Per-user arithmetic is independent, so the
+  // shards' interleaving across users cannot change a bit.
   const bool outages = !dark_.empty();
-  for (std::size_t u = 0; u < users; ++u) {
-    for (BandPilot& e : band_[u]) {
-      const auto c = static_cast<std::size_t>(e.cell);
-      if (outages) {
-        if (dark_[c]) {
-          // No pilot to filter: hard floor. The entry counts as seeded —
-          // recovery restarts the filter from a fresh snapshot anyway.
-          e.pilot_db = kDarkPilotDb;
-          e.fresh = false;
-          continue;
-        }
-        if (prev_dark_[c]) {
-          // Recovery: restart the filter from the fresh snapshot instead
-          // of decaying away from the sentinel over ~5 tau.
-          e.pilot_db = plane_rows_[c][e.slot];
-          e.fresh = false;
-          continue;
-        }
+  for (BandPilot& e : band_[u]) {
+    const auto c = static_cast<std::size_t>(e.cell);
+    if (outages) {
+      if (dark_[c]) {
+        // No pilot to filter: hard floor. The entry counts as seeded —
+        // recovery restarts the filter from a fresh snapshot anyway.
+        e.pilot_db = kDarkPilotDb;
+        e.fresh = false;
+        continue;
       }
-      if (e.fresh) {
-        // First snapshot this entry ever sees (band entry, or the world's
-        // initial blend): the pilot *is* the snapshot. At alpha = 1 this
-        // equals 0 + 1.0 * (snap - 0) bit for bit, so the dense initial
-        // blend is reproduced exactly.
+      if (prev_dark_[c]) {
+        // Recovery: restart the filter from the fresh snapshot instead
+        // of decaying away from the sentinel over ~5 tau.
         e.pilot_db = plane_rows_[c][e.slot];
         e.fresh = false;
         continue;
       }
-      e.pilot_db += alpha * (plane_rows_[c][e.slot] - e.pilot_db);
     }
+    if (e.fresh) {
+      // First snapshot this entry ever sees (band entry, or the world's
+      // initial blend): the pilot *is* the snapshot. At alpha = 1 this
+      // equals 0 + 1.0 * (snap - 0) bit for bit, so the dense initial
+      // blend is reproduced exactly.
+      e.pilot_db = plane_rows_[c][e.slot];
+      e.fresh = false;
+      continue;
+    }
+    e.pilot_db += alpha * (plane_rows_[c][e.slot] - e.pilot_db);
+  }
+}
+
+void CellularWorld::blend_pilots(double alpha) {
+  const std::size_t users = attached_.size();
+  for (std::size_t u = 0; u < users; ++u) {
+    blend_user_pilots(u, alpha);
   }
 }
 
@@ -348,47 +537,85 @@ void CellularWorld::initialize_attachments() {
   }
 }
 
-void CellularWorld::update_pilots_and_attachments() {
-  blend_pilots(pilot_alpha_);
-  const int users = config_.params.total_users();
-  for (int u = 0; u < users; ++u) {
-    const auto& band = band_[static_cast<std::size_t>(u)];
-    const int from = attached_[static_cast<std::size_t>(u)];
-    if (cell_dark(from)) {
-      // Forced eviction: the serving cell went dark. Hysteresis does not
-      // apply — there is nothing to stick to — so the user takes its
-      // strongest lit band pilot. With the whole band dark the user stays
-      // put and rides out the outage on the dead cell.
-      std::size_t best = band.size();
-      for (std::size_t i = 0; i < band.size(); ++i) {
-        if (cell_dark(band[i].cell)) continue;
-        if (best == band.size() || band[i].pilot_db > band[best].pilot_db) {
-          best = i;
-        }
-      }
-      if (best < band.size()) {
-        evict(static_cast<common::UserId>(u), from, band[best].cell);
-      }
-      continue;
-    }
-    // Gather the band's pilots contiguously for the shared attachment
-    // rule; the attached cell is always band-resident (update_bands pins
-    // it), so its index is well-defined.
-    pilot_scratch_.clear();
-    cell_of_scratch_.clear();
-    int attached_idx = -1;
+bool CellularWorld::decide_user(int u, ShardArena& arena, AttachMove& move) {
+  const auto& band = band_[static_cast<std::size_t>(u)];
+  const int from = attached_[static_cast<std::size_t>(u)];
+  if (cell_dark(from)) {
+    // Forced eviction: the serving cell went dark. Hysteresis does not
+    // apply — there is nothing to stick to — so the user takes its
+    // strongest lit band pilot. With the whole band dark the user stays
+    // put and rides out the outage on the dead cell.
+    std::size_t best = band.size();
     for (std::size_t i = 0; i < band.size(); ++i) {
-      pilot_scratch_.push_back(band[i].pilot_db);
-      cell_of_scratch_.push_back(band[i].cell);
-      if (band[i].cell == from) attached_idx = static_cast<int>(i);
+      if (cell_dark(band[i].cell)) continue;
+      if (best == band.size() || band[i].pilot_db > band[best].pilot_db) {
+        best = i;
+      }
     }
-    assert(attached_idx >= 0 && "attached cell missing from band");
-    const int pick = strongest_with_hysteresis(
-        {pilot_scratch_.data(), pilot_scratch_.size()}, attached_idx,
-        config_.handoff_hysteresis_db);
-    const int to = cell_of_scratch_[static_cast<std::size_t>(pick)];
-    if (to != from) {
-      handoff(static_cast<common::UserId>(u), from, to);
+    if (best < band.size()) {
+      move = AttachMove{u, band[best].cell, /*evict=*/true};
+      return true;
+    }
+    return false;
+  }
+  // Gather the band's pilots contiguously for the shared attachment
+  // rule; the attached cell is always band-resident (the band update pins
+  // it), so its index is well-defined.
+  arena.pilot_scratch.clear();
+  arena.cell_of_scratch.clear();
+  int attached_idx = -1;
+  for (std::size_t i = 0; i < band.size(); ++i) {
+    arena.pilot_scratch.push_back(band[i].pilot_db);
+    arena.cell_of_scratch.push_back(band[i].cell);
+    if (band[i].cell == from) attached_idx = static_cast<int>(i);
+  }
+  assert(attached_idx >= 0 && "attached cell missing from band");
+  const int pick = strongest_with_hysteresis(
+      {arena.pilot_scratch.data(), arena.pilot_scratch.size()}, attached_idx,
+      config_.handoff_hysteresis_db);
+  const int to = arena.cell_of_scratch[static_cast<std::size_t>(pick)];
+  if (to != from) {
+    move = AttachMove{u, to, /*evict=*/false};
+    return true;
+  }
+  return false;
+}
+
+void CellularWorld::decide_attachments() {
+  // Sharded blend + decision. Every blend reads only the frozen snapshot
+  // rows and the user's own band entries; every decision reads only the
+  // user's own blended pilots and attached cell. Nothing a proposed move
+  // will later mutate (engines, attached_, attach_counts_) feeds another
+  // user's same-epoch decision, so deferring the moves to the coordinator
+  // replay is bit-equivalent to the historical interleaved execution.
+  for_each_user_shard([this](std::size_t s, std::size_t begin,
+                             std::size_t end) {
+    auto& arena = shard_arenas_[s];
+    arena.moves.clear();
+    AttachMove move;
+    for (std::size_t u = begin; u < end; ++u) {
+      blend_user_pilots(u, pilot_alpha_);
+      if (decide_user(static_cast<int>(u), arena, move)) {
+        arena.moves.push_back(move);
+      }
+    }
+  });
+}
+
+void CellularWorld::apply_attachment_moves() {
+  // Coordinator replay, ascending user id (shards cover ascending
+  // contiguous ranges): every engine mutation and RNG draw lands in the
+  // serial execution order.
+  const std::size_t shards =
+      std::min<std::size_t>(num_shards_, attached_.size());
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const AttachMove& m : shard_arenas_[s].moves) {
+      const int from = attached_[static_cast<std::size_t>(m.user)];
+      if (m.evict) {
+        evict(static_cast<common::UserId>(m.user), from, m.to);
+      } else {
+        handoff(static_cast<common::UserId>(m.user), from, m.to);
+      }
     }
   }
 }
@@ -429,53 +656,99 @@ void CellularWorld::apply_traffic_modulation(common::Time t) {
   if (config_.modulation.kind == traffic::TrafficModulationConfig::Kind::kNone) {
     return;
   }
-  const int users = config_.params.total_users();
-  for (int u = 0; u < users; ++u) {
-    const Vec2 pos = mobility_.position(u);
-    const double scale = traffic::rate_scale(config_.modulation, t, pos.x,
-                                             pos.y);
-    auto& mu = cells_[static_cast<std::size_t>(
-                          attached_[static_cast<std::size_t>(u)])]
-                   ->user(static_cast<common::UserId>(u));
-    if (mu.is_voice()) {
-      mu.voice().set_rate_scale(scale);
-    } else {
-      mu.data().set_rate_scale(scale);
+  // Sharded: each user's rescale touches only its own sources (a pure
+  // member write), and the engine lookup is a read-only binary search.
+  for_each_user_shard([this, t](std::size_t, std::size_t begin,
+                                std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const Vec2 pos = mobility_.position(static_cast<int>(u));
+      const double scale =
+          traffic::rate_scale(config_.modulation, t, pos.x, pos.y);
+      auto& mu = cells_[static_cast<std::size_t>(attached_[u])]->user(
+          static_cast<common::UserId>(u));
+      if (mu.is_voice()) {
+        mu.voice().set_rate_scale(scale);
+      } else {
+        mu.data().set_rate_scale(scale);
+      }
     }
-  }
+  });
 }
 
 void CellularWorld::run_window(common::Time duration) {
   common::Time remaining = duration;
   while (remaining > kTimeEps) {
     const common::Time dt = std::min(config_.decision_interval, remaining);
-    // Epoch structure: mobility moves everyone (coordinator), each cell
-    // re-anchors its SNR/SINR plane (parallel, share-nothing, reading the
-    // frozen previous-epoch loads), attachment and handoffs run between
-    // the barriers (coordinator — they mutate pairs of engines) followed
-    // by the load aggregation that drives the next epoch's interference,
-    // then every cell burns an epoch of MAC frames (parallel). Serial and
-    // parallel execution perform the identical per-cell arithmetic in the
-    // identical order, so metrics are bit-identical at any thread count.
-    mobility_.advance_to(now_ + dt);
-    // Outage flags for the epoch [now_, now_ + dt) are frozen here, before
-    // the parallel plane tasks read them.
-    update_outage_flags(now_);
-    // Band maintenance from the new positions (coordinator): entering
-    // users are admitted, leavers released — except each user's attached
-    // cell, which stays pinned until a handoff moves the user. The plane
-    // rows then grow to any new bank rows before the parallel tasks use
-    // them.
-    update_bands(/*include_attached=*/true);
-    resize_plane_rows();
-    update_snr_planes();
-    update_pilots_and_attachments();
-    apply_traffic_modulation(now_);
-    update_cell_loads();
-    for_each_cell([this, dt](std::size_t c) { cells_[c]->advance_by(dt); });
+    // Epoch structure: the world plane — mobility, band rosters, pilot
+    // blending, the attachment rule — is computed in parallel over
+    // contiguous user-id shards that emit proposals; the coordinator
+    // merges every proposal in ascending user-id order between the
+    // barriers (those steps consume RNG and mutate pairs of engines);
+    // each cell re-anchors its SNR/SINR plane and burns an epoch of MAC
+    // frames in share-nothing parallel cell (or row-strip) tasks. Every
+    // RNG-consuming or engine-mutating step runs on the coordinator in
+    // the serial order, so metrics are bit-identical at any shard and
+    // thread count.
+    {
+      PhaseTimer timer(timings_.shard_plane_s);
+      advance_mobility(now_ + dt);
+    }
+    {
+      // Outage flags for the epoch [now_, now_ + dt) are frozen here,
+      // before the parallel plane tasks read them.
+      PhaseTimer timer(timings_.serial_plane_s);
+      update_outage_flags(now_);
+    }
+    {
+      // Band maintenance from the new positions: entering users are
+      // admitted, leavers released — except each user's attached cell,
+      // which stays pinned until a handoff moves the user.
+      PhaseTimer timer(timings_.shard_plane_s);
+      propose_bands(/*include_attached=*/true);
+    }
+    {
+      PhaseTimer timer(timings_.serial_plane_s);
+      apply_band_proposals();
+      // The plane rows grow to any new bank rows before the parallel
+      // tasks use them.
+      resize_plane_rows();
+    }
+    {
+      PhaseTimer timer(timings_.cell_plane_s);
+      update_snr_planes();
+    }
+    {
+      PhaseTimer timer(timings_.shard_plane_s);
+      decide_attachments();
+    }
+    {
+      PhaseTimer timer(timings_.serial_plane_s);
+      apply_attachment_moves();
+    }
+    {
+      PhaseTimer timer(timings_.shard_plane_s);
+      apply_traffic_modulation(now_);
+    }
+    {
+      // The load aggregation that drives the next epoch's interference.
+      PhaseTimer timer(timings_.serial_plane_s);
+      update_cell_loads();
+    }
+    {
+      PhaseTimer timer(timings_.cell_plane_s);
+      for_each_cell([this, dt](std::size_t c) { cells_[c]->advance_by(dt); });
+    }
+    ++timings_.epochs;
     now_ += dt;
     remaining -= dt;
   }
+}
+
+void CellularWorld::advance(common::Time duration) {
+  if (duration < 0.0) {
+    throw std::invalid_argument("CellularWorld::advance: negative duration");
+  }
+  run_window(duration);
 }
 
 void CellularWorld::run(common::Time warmup, common::Time measure) {
@@ -487,6 +760,7 @@ void CellularWorld::run(common::Time warmup, common::Time measure) {
     cell->reset_metrics();
   }
   handoffs_ = 0;
+  timings_ = EpochTimings{};
   run_window(measure);
 }
 

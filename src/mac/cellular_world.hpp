@@ -56,6 +56,7 @@
 // ProtocolMetrics, so the existing reporting stack works unchanged.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -112,6 +113,18 @@ struct CellularConfig {
   /// default) runs serially on the caller, 0 picks the hardware
   /// concurrency. Results are bit-identical at every setting.
   unsigned num_threads = 1;
+
+  /// Coordinator shards: the world plane — mobility stepping, SiteIndex
+  /// band-roster computation, pilot blending and the attachment rule — is
+  /// computed over this many contiguous user-id ranges in parallel on the
+  /// worker pool, each shard emitting proposal lists (suspended mobility
+  /// walks, new band rosters, handoff/eviction candidates) that the
+  /// coordinator merges in ascending user-id order. Free-list state, RNG
+  /// derivation and every downstream draw are therefore byte-for-byte
+  /// independent of the shard *and* thread count. 0 (the default) matches
+  /// the resolved worker-thread count; 1 computes the plane in one range
+  /// (inline when the world is serial).
+  unsigned num_shards = 0;
 
   /// Pilot-band radius (m): a user holds channel/engine state only in the
   /// cells whose site is within this distance (wrap-aware), plus always
@@ -187,6 +200,13 @@ class CellularWorld {
   /// called repeatedly; windows are monotone like ProtocolEngine::run.
   void run(common::Time warmup, common::Time measure);
 
+  /// Advances the world by `duration` seconds of epochs with NO metric
+  /// reset — counters keep accumulating across calls. This is run()'s
+  /// measurement loop without the warmup bookkeeping; the frame_alloc
+  /// suite wraps it in a counting allocator to pin the steady-state epoch
+  /// path (band maintenance included) as allocation-free.
+  void advance(common::Time duration);
+
   int num_cells() const { return static_cast<int>(cells_.size()); }
   ProtocolEngine& cell(int c) { return *cells_.at(static_cast<std::size_t>(c)); }
   const ProtocolMetrics& cell_metrics(int c) const {
@@ -222,6 +242,24 @@ class CellularWorld {
   const MobilityModel& mobility() const { return mobility_; }
   common::Time now() const { return now_; }
   unsigned thread_count() const { return pool_ ? pool_->thread_count() : 1; }
+  /// Resolved coordinator shard count (num_shards after the 0 = auto and
+  /// population clamps).
+  unsigned shard_count() const { return num_shards_; }
+  /// Row strips each cell's SNR-plane task is split into (> 1 only when
+  /// the pool has more workers than cells and the bank is eager).
+  int plane_strips() const { return plane_strips_; }
+
+  /// Cumulative wall-clock split of the epoch loop since the last run()
+  /// measurement window began (reset together with the metrics):
+  /// coordinator-only merge/apply work vs the sharded world-plane
+  /// barriers vs the per-cell plane/frame barriers.
+  struct EpochTimings {
+    double serial_plane_s = 0.0;  ///< coordinator merge/apply/aggregate
+    double shard_plane_s = 0.0;   ///< sharded world-plane phases
+    double cell_plane_s = 0.0;    ///< per-cell SNR plane + MAC frames
+    std::uint64_t epochs = 0;
+  };
+  const EpochTimings& epoch_timings() const { return timings_; }
 
   /// Whether cell `c` is dark in the current epoch (always false without
   /// an outage schedule).
@@ -253,14 +291,62 @@ class CellularWorld {
     bool fresh = true;
   };
 
-  /// Re-derives every user's band from its position (SiteIndex), admits
-  /// entrants into / releases leavers from the cell engines, and rebuilds
-  /// band_[u]. `include_attached` additionally pins each user's attached
-  /// cell into its band regardless of geometry (epochs; construction runs
-  /// before any attachment exists). Coordinator-only, user-id order — the
-  /// deterministic admit/release order is what keeps the banks' free
-  /// lists, and therefore the whole world, bit-identical between serial
-  /// and parallel runs.
+  /// One attachment-phase proposal: user moves to cell `to`, either as an
+  /// ordinary hysteresis handoff or as a forced outage eviction.
+  struct AttachMove {
+    int user = 0;
+    int to = 0;
+    bool evict = false;
+  };
+
+  /// Per-shard proposal arena — everything a world-plane shard writes.
+  /// Shards own disjoint arenas, so the parallel phases share nothing;
+  /// vectors are clear()ed per epoch and reach steady capacity, after
+  /// which the epoch path allocates nothing.
+  struct ShardArena {
+    std::vector<MobilityModel::Suspended> suspended;
+    /// Concatenated per-user new band rosters (ascending cells per user)
+    /// with offsets[k] .. offsets[k+1] delimiting the k-th user of the
+    /// shard's range.
+    std::vector<int> band_cells;
+    std::vector<std::uint32_t> band_offsets;
+    std::vector<AttachMove> moves;
+    /// Attachment-rule gather scratch (one user's pilots + cell ids).
+    std::vector<double> pilot_scratch;
+    std::vector<int> cell_of_scratch;
+    /// SiteIndex query dedup scratch (the thread-safe overload).
+    std::vector<char> mark_scratch;
+  };
+
+  /// Runs fn(shard, begin, end) over the contiguous user-id ranges of the
+  /// resolved shard decomposition — on the pool when configured, inline
+  /// otherwise. The decomposition depends only on (users, num_shards_),
+  /// never on the thread count.
+  void for_each_user_shard(
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Sharded mobility step to absolute time `t`: phase A advances every
+  /// shard's trajectories draw-free (suspending random-waypoint arrivals),
+  /// phase B resumes the suspended walks on the coordinator in ascending
+  /// user order — consuming the shared mobility stream in exactly the
+  /// serial advance_to draw sequence.
+  void advance_mobility(common::Time t);
+
+  /// Sharded band-roster proposals: each shard queries SiteIndex for its
+  /// users' new cell sets (plus the pinned attached cell when
+  /// `include_attached`) into its arena. Pure computation — no engine is
+  /// touched.
+  void propose_bands(bool include_attached);
+  /// Coordinator merge of the band proposals in ascending user-id order:
+  /// admits entrants into / releases leavers from the cell engines and
+  /// rebuilds band_[u]. The deterministic admit/release order is what
+  /// keeps the banks' free lists, and therefore the whole world,
+  /// bit-identical at any shard/thread count.
+  void apply_band_proposals();
+  /// The two-pointer diff of one user's old band against its proposed
+  /// cell set (both ascending), issuing band_release/band_admit.
+  void update_user_band(int u, std::span<const int> cells);
+  /// propose + apply (construction; epochs call the phases directly).
   void update_bands(bool include_attached);
   /// Grows each cell's plane scratch rows to the bank's current row count
   /// (vacant rows are never read; they only keep the spans full-size).
@@ -275,17 +361,42 @@ class CellularWorld {
   /// same order), feed the bank, and take the pilot snapshot into this
   /// cell's slot-indexed plane row.
   void update_cell_snr_plane(int c);
-  /// The per-epoch plane update: one share-nothing barrier, interference
-  /// included.
+  /// One contiguous row strip of update_cell_snr_plane — the same per-row
+  /// math over rows [strip, strip+1) of the cell's plane_strips_-way row
+  /// partition, fed to the bank through the contiguous-span range APIs.
+  /// Pure per-row writes, so the strip count never changes a bit.
+  void update_plane_strip(int c, int strip);
+  /// The per-epoch plane update: one share-nothing barrier (cells, or
+  /// cells × strips when the pool has spare workers), interference
+  /// included, followed by the coordinator's penalty-mean replay.
   void update_snr_planes();
+  /// Coordinator replay of each cell's per-member interference penalties
+  /// (band order == id order) into the engines' penalty-mean metric —
+  /// hoisted out of the cell tasks so strips need no accumulator, summing
+  /// the same values in the same order as the historical inline loop.
+  void note_interference_epochs();
   /// Coordinator step after attachment: refreshes cell_load_ (activity ×
   /// attached users per cell) for the next epoch's interference plane.
   void update_cell_loads();
-  /// Low-pass blend of the per-cell snapshot rows into every band entry's
-  /// filtered pilot; alpha = 1 overwrites (initial attachment),
-  /// pilot_alpha_ filters. Fresh entries restart from the snapshot.
+  /// Low-pass blend of the per-cell snapshot rows into one user's band
+  /// entries; alpha = 1 overwrites (initial attachment), pilot_alpha_
+  /// filters. Fresh entries restart from the snapshot.
+  void blend_user_pilots(std::size_t u, double alpha);
+  /// blend_user_pilots over the whole population (construction).
   void blend_pilots(double alpha);
-  void update_pilots_and_attachments();
+  /// Sharded attachment phase: each shard blends its users' pilots and
+  /// evaluates the outage-eviction / strongest-with-hysteresis rule
+  /// against the frozen epoch snapshot, emitting AttachMove proposals.
+  /// Valid because a user's decision reads only its own band pilots and
+  /// its own attached cell — nothing another user's same-epoch move
+  /// mutates.
+  void decide_attachments();
+  /// One user's blend + decision; returns true when a move is proposed.
+  bool decide_user(int u, ShardArena& arena, AttachMove& move);
+  /// Coordinator replay of the proposed moves in ascending user-id order:
+  /// executes handoff/evict so every engine mutation (and RNG draw) lands
+  /// in the serial order.
+  void apply_attachment_moves();
   void handoff(common::UserId user, int from, int to);
   /// True when the outage schedule darkens cell `c` at time `t`.
   bool is_dark(int c, common::Time t) const;
@@ -324,13 +435,11 @@ class CellularWorld {
   /// Per-cell attached-user counters (mirrors counting attached_; the
   /// scan is debug-assert only).
   std::vector<int> attach_counts_;
-  /// Coordinator scratch: SiteIndex query result / band-diff merge.
-  std::vector<int> cell_scratch_;
+  /// Coordinator scratch: band-diff merge target.
   std::vector<BandPilot> band_scratch_;
-  /// Coordinator scratch for the attachment rule: one user's band pilots
-  /// and the matching cell ids, gathered contiguously.
-  std::vector<double> pilot_scratch_;
-  std::vector<int> cell_of_scratch_;
+  /// Per-shard proposal arenas (size num_shards_; arena s is written only
+  /// by shard s's task and read only by the coordinator between barriers).
+  std::vector<ShardArena> shard_arenas_;
   /// Per-cell aggregate load (activity × attached users) frozen by the
   /// coordinator each epoch; read-only inside the parallel cell tasks.
   std::vector<double> cell_load_;
@@ -347,6 +456,9 @@ class CellularWorld {
   double path_loss_c_db_ = 0.0;
   double path_loss_half_k_ = 0.0;
   double min_distance_sq_m2_ = 0.0;
+  unsigned num_shards_ = 1;
+  int plane_strips_ = 1;
+  EpochTimings timings_;
   std::int64_t handoffs_ = 0;
   common::Time now_ = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "mac/mobility.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -67,6 +68,12 @@ void MobilityModel::advance_random_waypoint(UserState& u, common::Time now,
                                             common::Time dt) {
   common::Time remaining = dt;
   common::Time t = now;
+  walk_random_waypoint(u, t, remaining, /*allow_draw=*/true);
+}
+
+bool MobilityModel::walk_random_waypoint(UserState& u, common::Time& t,
+                                         common::Time& remaining,
+                                         bool allow_draw) {
   // Segment walk: pause -> leg to waypoint -> new waypoint, consuming the
   // epoch in pieces (an epoch can span several short legs).
   while (remaining > 0.0) {
@@ -78,6 +85,7 @@ void MobilityModel::advance_random_waypoint(UserState& u, common::Time now,
     }
     const double leg = distance_m(u.pos, u.waypoint);
     if (leg <= 1e-9) {
+      if (!allow_draw) return false;  // suspend: (t, remaining) resumable
       pick_waypoint(u);
       if (config_.pause_s > 0.0) {
         u.pause_until = t + config_.pause_s;
@@ -99,6 +107,46 @@ void MobilityModel::advance_random_waypoint(UserState& u, common::Time now,
       remaining = 0.0;
     }
   }
+  return true;
+}
+
+void MobilityModel::advance_span(common::Time t, int begin, int end,
+                                 std::vector<Suspended>& out) {
+  if (t < now_) {
+    throw std::logic_error("MobilityModel::advance_span: time went backwards");
+  }
+  const common::Time dt = t - now_;
+  if (dt <= 0.0 || config_.speed_mps <= 0.0) return;  // commit() moves now_
+  begin = std::max(begin, 0);
+  end = std::min(end, static_cast<int>(users_.size()));
+  for (int i = begin; i < end; ++i) {
+    UserState& u = users_[static_cast<std::size_t>(i)];
+    if (config_.model == MobilityConfig::Model::kConstantVelocity) {
+      advance_constant_velocity(u, dt);  // draw-free, always completes
+      continue;
+    }
+    common::Time walk_t = now_;
+    common::Time remaining = dt;
+    if (!walk_random_waypoint(u, walk_t, remaining, /*allow_draw=*/false)) {
+      out.push_back(Suspended{i, walk_t, remaining});
+    }
+  }
+}
+
+void MobilityModel::resume(const std::vector<Suspended>& suspended) {
+  for (const Suspended& s : suspended) {
+    common::Time t = s.t;
+    common::Time remaining = s.remaining;
+    walk_random_waypoint(users_[static_cast<std::size_t>(s.user)], t,
+                         remaining, /*allow_draw=*/true);
+  }
+}
+
+void MobilityModel::commit(common::Time t) {
+  if (t < now_) {
+    throw std::logic_error("MobilityModel::commit: time went backwards");
+  }
+  now_ = t;
 }
 
 void MobilityModel::pick_waypoint(UserState& u) {

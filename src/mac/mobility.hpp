@@ -48,6 +48,42 @@ class MobilityModel {
   /// Advances every user to absolute time `t` (non-decreasing calls).
   void advance_to(common::Time t);
 
+  // ---- Sharded two-phase advancement (CellularWorld epoch coordinator) --
+  // A serial advance_to(t) draws waypoints from the one shared stream in
+  // ascending user order, each user's draws completing before the next
+  // user's begin. The sharded protocol reproduces that draw sequence
+  // exactly: phase A (advance_span, parallel on disjoint user ranges)
+  // walks each trajectory with the identical arithmetic but *stops* at the
+  // first point that needs a draw, recording the user's exact walk state;
+  // phase B (resume, coordinator, ascending user id) finishes the
+  // suspended walks with draws enabled — the only RNG consumers — so the
+  // stream advances precisely as the serial loop would have advanced it.
+  // commit(t) then moves the epoch clock. Constant-velocity users never
+  // draw and complete entirely in phase A.
+
+  /// One suspended random-waypoint walk: the user, and the exact (t,
+  /// remaining) pair the serial segment loop held when it hit a draw.
+  struct Suspended {
+    int user = 0;
+    common::Time t = 0.0;
+    common::Time remaining = 0.0;
+  };
+
+  /// Phase A: advances users [begin, end) toward absolute time `t`
+  /// without consuming RNG; users needing a waypoint draw are appended to
+  /// `out` (ascending, since the range is walked in order) with their walk
+  /// state. Safe to call concurrently on disjoint ranges. Positions of
+  /// suspended users are not final until resume() runs.
+  void advance_span(common::Time t, int begin, int end,
+                    std::vector<Suspended>& out);
+  /// Phase B (coordinator): completes suspended walks, drawing waypoints
+  /// from the shared stream. Callers must present records in ascending
+  /// user order across all calls of the epoch.
+  void resume(const std::vector<Suspended>& suspended);
+  /// Commits the epoch clock after phases A/B (non-decreasing, like
+  /// advance_to).
+  void commit(common::Time t);
+
   int size() const { return static_cast<int>(users_.size()); }
   Vec2 position(int user) const;
   /// Current velocity (m/s); zero while a random-waypoint user pauses.
@@ -65,6 +101,13 @@ class MobilityModel {
   void advance_constant_velocity(UserState& u, common::Time dt);
   void advance_random_waypoint(UserState& u, common::Time now,
                                common::Time dt);
+  /// The random-waypoint segment loop shared by the serial and two-phase
+  /// paths: walks `u` forward consuming `remaining`, updating `t` with the
+  /// serial code's exact arithmetic. Returns true when the interval is
+  /// consumed; returns false — with (t, remaining) holding the resumable
+  /// walk state — when a waypoint draw is needed but `allow_draw` is off.
+  bool walk_random_waypoint(UserState& u, common::Time& t,
+                            common::Time& remaining, bool allow_draw);
   void pick_waypoint(UserState& u);
 
   MobilityConfig config_;

@@ -5,8 +5,18 @@
 
 namespace charisma::mac {
 
-SiteIndex::SiteIndex(const SiteLayout& layout, double radius_m)
-    : layout_(&layout), radius_m_(radius_m) {
+SiteIndex::SiteIndex(const SiteLayout& layout, double radius_m) {
+  rebuild(layout, radius_m);
+}
+
+void SiteIndex::rebuild(const SiteLayout& layout, double radius_m) {
+  layout_ = &layout;
+  radius_m_ = radius_m;
+  // Clear in place: the inner vectors keep their capacity, so a rebuild at
+  // unchanged (or smaller) geometry allocates nothing. Stale buckets past
+  // the new grid extent are cleared too — bucket_of never addresses them,
+  // but leaving entries there would pin dead Entry storage forever.
+  for (auto& bucket : buckets_) bucket.clear();
   if (radius_m_ <= 0.0) return;  // all-cells mode: no grid needed
   radius_sq_m2_ = radius_m_ * radius_m_;
 
@@ -34,11 +44,23 @@ SiteIndex::SiteIndex(const SiteLayout& layout, double radius_m)
   }
   origin_x_ = min_x;
   origin_y_ = min_y;
-  inv_bucket_ = 1.0 / radius_m_;
+  // Bucket edge = max(radius, extent/1024 per axis). Any edge >= the
+  // radius keeps the 3x3-neighbourhood query exact (an in-range image is
+  // within one bucket of the query's); the floor stops a degenerate
+  // radius from exploding the grid — without it a 1 mm band on a km-scale
+  // field would ask for ~1e12 buckets.
+  constexpr double kMaxBucketsPerAxis = 1024.0;
+  const double edge =
+      std::max({radius_m_, (max_x - min_x) / kMaxBucketsPerAxis,
+                (max_y - min_y) / kMaxBucketsPerAxis});
+  inv_bucket_ = 1.0 / edge;
   nx_ = std::max(1, static_cast<int>((max_x - min_x) * inv_bucket_) + 1);
   ny_ = std::max(1, static_cast<int>((max_y - min_y) * inv_bucket_) + 1);
-  buckets_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_),
-                  {});
+  const std::size_t grid =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  // Grow-only: resize keeps the existing inner vectors (and their
+  // capacity) when the grid shrinks or stays put.
+  if (buckets_.size() < grid) buckets_.resize(grid);
   for (int s = 0; s < layout.num_sites(); ++s) {
     const Vec2 site = layout.position(s);
     for (const Vec2& off : offsets) {
@@ -46,7 +68,12 @@ SiteIndex::SiteIndex(const SiteLayout& layout, double radius_m)
       buckets_[bucket_of(img.x, img.y)].push_back(Entry{s, img});
     }
   }
-  mark_.assign(static_cast<std::size_t>(layout.num_sites()), 0);
+  const auto sites = static_cast<std::size_t>(layout.num_sites());
+  if (mark_.size() < sites) {
+    mark_.assign(sites, 0);
+  } else {
+    std::fill(mark_.begin(), mark_.end(), 0);
+  }
 }
 
 std::size_t SiteIndex::bucket_of(double x, double y) const {
@@ -59,10 +86,18 @@ std::size_t SiteIndex::bucket_of(double x, double y) const {
 }
 
 void SiteIndex::cells_near(const Vec2& p, std::vector<int>& out) const {
+  cells_near(p, out, mark_);
+}
+
+void SiteIndex::cells_near(const Vec2& p, std::vector<int>& out,
+                           std::vector<char>& scratch) const {
   const int sites = layout_->num_sites();
   if (radius_m_ <= 0.0) {
     for (int s = 0; s < sites; ++s) out.push_back(s);
     return;
+  }
+  if (scratch.size() < static_cast<std::size_t>(sites)) {
+    scratch.assign(static_cast<std::size_t>(sites), 0);
   }
   // Clamping the centre bucket keeps out-of-box queries correct: an image
   // within the radius of an outside point is at most one bucket past the
@@ -84,8 +119,8 @@ void SiteIndex::cells_near(const Vec2& p, std::vector<int>& out) const {
         const double dx = p.x - e.pos.x;
         const double dy = p.y - e.pos.y;
         if (dx * dx + dy * dy > radius_sq_m2_) continue;
-        if (!mark_[static_cast<std::size_t>(e.site)]) {
-          mark_[static_cast<std::size_t>(e.site)] = 1;
+        if (!scratch[static_cast<std::size_t>(e.site)]) {
+          scratch[static_cast<std::size_t>(e.site)] = 1;
           found = true;
         }
       }
@@ -107,9 +142,9 @@ void SiteIndex::cells_near(const Vec2& p, std::vector<int>& out) const {
     return;
   }
   for (int s = 0; s < sites; ++s) {
-    if (mark_[static_cast<std::size_t>(s)]) {
+    if (scratch[static_cast<std::size_t>(s)]) {
       out.push_back(s);
-      mark_[static_cast<std::size_t>(s)] = 0;
+      scratch[static_cast<std::size_t>(s)] = 0;
     }
   }
 }

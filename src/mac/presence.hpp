@@ -30,12 +30,27 @@ class SiteIndex {
   /// layout must outlive the index.
   SiteIndex(const SiteLayout& layout, double radius_m);
 
+  /// (Re)builds the grid in place, reusing the bucket vectors' storage:
+  /// after the first build at a given geometry, further rebuilds perform
+  /// no heap allocation (buckets are clear()ed, never reassigned), so a
+  /// caller refreshing the index in a steady-state loop allocates
+  /// nothing. The layout must outlive the index.
+  void rebuild(const SiteLayout& layout, double radius_m);
+
   /// All sites covering the band: every site whose (wrap-metric) distance
   /// to `p` is at most the radius, appended to `out` in ascending site
   /// order; the nearest site alone when none is in range; every site when
   /// the radius is <= 0. `out` is not cleared. Uses mutable mark scratch —
   /// coordinator-only, not safe to call concurrently.
   void cells_near(const Vec2& p, std::vector<int>& out) const;
+
+  /// Concurrency-safe variant for sharded callers: identical results, but
+  /// the per-site dedup scratch is caller-owned (one per shard), so
+  /// queries on distinct scratches may run in parallel. `scratch` is
+  /// resized on first use and must not be shared between concurrent
+  /// callers; its entries must be (and are left) all-zero.
+  void cells_near(const Vec2& p, std::vector<int>& out,
+                  std::vector<char>& scratch) const;
 
   /// True in all-cells mode (radius <= 0): band membership is the whole
   /// layout and never changes.

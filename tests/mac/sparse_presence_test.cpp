@@ -131,10 +131,18 @@ class SparsePresenceGolden : public ::testing::TestWithParam<GoldenPins> {};
 
 TEST_P(SparsePresenceGolden, AllCoveringBandReproducesDenseBitForBit) {
   const GoldenPins& pins = GetParam();
-  for (unsigned threads : {1u, 2u, 4u, 0u}) {  // 0 = hardware concurrency
-    SCOPED_TRACE("threads " + std::to_string(threads));
-    CellularWorld world(pin_config(threads, /*band_radius_m=*/0.0),
-                        factory_for(pins.protocol));
+  // threads 0 = hardware concurrency; shards 0 = match the thread count.
+  // The hexfloat pins below predate the sharded coordinator, so every
+  // (threads, shards) pair — serial, sharded-on-one-thread, and the
+  // hardware defaults — must reproduce the historical serial plane's bits.
+  struct Grid { unsigned threads, shards; };
+  for (const Grid g : {Grid{1u, 1u}, Grid{1u, 2u}, Grid{2u, 1u},
+                       Grid{2u, 2u}, Grid{4u, 3u}, Grid{0u, 0u}}) {
+    SCOPED_TRACE("threads " + std::to_string(g.threads) + " shards " +
+                 std::to_string(g.shards));
+    auto cfg = pin_config(g.threads, /*band_radius_m=*/0.0);
+    cfg.num_shards = g.shards;
+    CellularWorld world(cfg, factory_for(pins.protocol));
     world.run(0.3, 1.2);
     const auto m = world.aggregate_metrics();
     EXPECT_EQ(m.voice_generated, pins.voice_generated);
@@ -285,8 +293,12 @@ TEST(SparsePresencePartialBand, SerialAndParallelBitIdentical) {
     ASSERT_GT(reference.voice_generated, 0);
     for (unsigned threads : {2u, 4u, 0u}) {
       SCOPED_TRACE("threads " + std::to_string(threads));
-      CellularWorld parallel(pin_config(threads, /*band_radius_m=*/700.0),
-                             factory_for(id));
+      auto cfg = pin_config(threads, /*band_radius_m=*/700.0);
+      // Decouple the shard count from the thread count too: band churn
+      // (the admit/release order feeding the row free lists) must not see
+      // the shard boundaries either.
+      cfg.num_shards = (threads == 2u) ? 5u : 0u;
+      CellularWorld parallel(cfg, factory_for(id));
       parallel.run(0.3, 1.2);
       EXPECT_TRUE(parallel.aggregate_metrics() == reference);
       EXPECT_EQ(parallel.handoffs(), serial.handoffs());

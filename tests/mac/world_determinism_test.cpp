@@ -273,6 +273,45 @@ TEST(WorldDeterminismExtra, BarringOutageAndFlashCrowdBitIdentical) {
   }
 }
 
+TEST(WorldDeterminismExtra, ShardCountSweepBitIdentical) {
+  // The tentpole guarantee of the sharded coordinator: shard count and
+  // thread count are pure performance knobs. With every serial-plane
+  // feature active at once — sparse pilot bands (admit/release churn on
+  // the engine free lists), the uplink interference plane, closed-loop
+  // barring, and a mid-run outage — the metrics must stay bit-identical
+  // for any (shards, threads) pair, including shards > threads,
+  // shards < threads, and the hardware-concurrency defaults (0).
+  auto make = [](unsigned shards, unsigned threads) {
+    auto cfg = hex_world_config(threads, /*seed=*/29);
+    cfg.num_shards = shards;
+    cfg.pilot_band_radius_m = 700.0;
+    // The load it takes to actually engage closed-loop barring (checks
+    // are only counted while a class factor sits below 1): a heavy
+    // population plus a touchy controller band.
+    cfg.params.num_voice_users = 30;
+    cfg.params.num_data_users = 8;
+    cfg.params.barring.enabled = true;
+    cfg.params.barring.target_high = 0.05;
+    cfg.params.barring.target_low = 0.02;
+    cfg.outages.push_back({2, 0.5, 0.9});
+    CellularWorld world(cfg, factory_for(protocols::ProtocolId::kCharisma));
+    world.run(0.3, 1.2);
+    return world.aggregate_metrics();
+  };
+  const auto reference = make(/*shards=*/1, /*threads=*/1);
+  ASSERT_GT(reference.voice_generated, 0);
+  ASSERT_GT(reference.outage_evictions, 0);
+  ASSERT_GT(reference.interference_db.count(), 0);
+  ASSERT_GT(reference.barring_checks, 0);
+  for (unsigned shards : {2u, 3u, 4u, 0u}) {  // 0 = match thread count
+    for (unsigned threads : {1u, 2u, 4u, 0u}) {  // 0 = hardware
+      SCOPED_TRACE("shards " + std::to_string(shards) + " threads " +
+                   std::to_string(threads));
+      expect_identical(reference, make(shards, threads));
+    }
+  }
+}
+
 TEST(WorldDeterminismExtra, HardwareThreadsMatchesSerial) {
   // num_threads = 0 (hardware concurrency, whatever this host has) is the
   // bench's default sweep end point; it must be the same experiment too.

@@ -59,6 +59,12 @@ Mobility / multi-cell (cells >= 2 enables the CellularWorld scenario):
   threads=N            worker threads stepping cells in parallel; 0 =
                        hardware concurrency (default 1 = serial; results
                        are bit-identical at any setting)
+  shards=N             coordinator shards: the world plane (mobility, band
+                       rosters, pilot filtering, attachment rule) is
+                       computed over N contiguous user-id ranges in
+                       parallel, proposals merged in user order; 0 =
+                       match the thread count (default 0; results are
+                       bit-identical at any setting)
   kmh=F                user speed; also sets the Doppler spread (default 50)
   handoff_hysteresis_db=F  strongest-pilot margin before handoff (default 4)
   mobility=waypoint|vector random-waypoint or constant-velocity (default
@@ -159,8 +165,8 @@ const std::vector<std::string> kKnownKeys = {
     "warmup", "measure", "replications", "sweep", "x", "mean_snr_db",
     "shadow_sigma_db", "doppler_hz", "kmh", "diversity", "fixed_ref_db",
     "target_ber", "csi_noise_db", "csi_validity_frames", "ack_loss",
-    "tx_power_w", "channel", "cells", "threads", "handoff_hysteresis_db",
-    "mobility",
+    "tx_power_w", "channel", "cells", "threads", "shards",
+    "handoff_hysteresis_db", "mobility",
     "cell_radius_m", "layout", "reuse", "wrap", "band", "interference",
     "verify",
     "request_slots", "info_slots", "pilot_slots", "talkspurt_s", "silence_s",
@@ -281,6 +287,11 @@ mac::CellularConfig cellular_from(const common::KeyValueConfig& config,
     throw std::invalid_argument("threads= must be >= 0 (0 = hardware)");
   }
   world.num_threads = static_cast<unsigned>(threads);
+  const int shards = config.get_int_or("shards", 0);
+  if (shards < 0) {
+    throw std::invalid_argument("shards= must be >= 0 (0 = match threads)");
+  }
+  world.num_shards = static_cast<unsigned>(shards);
   world.params = params;
   if (!config.contains("mean_snr_db")) {
     // The single-cell default (16 dB) is the SNR of the *whole* cell; in
@@ -419,6 +430,7 @@ void run_cellular(const common::KeyValueConfig& config,
         }
         auto serial_cfg = cfg;
         serial_cfg.num_threads = 1;
+        serial_cfg.num_shards = 1;
         mac::CellularWorld serial(serial_cfg, factory);
         serial.run(spec.warmup_s, spec.measure_s);
         if (!(serial.aggregate_metrics() == m) ||
