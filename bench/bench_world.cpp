@@ -108,13 +108,15 @@ struct Point {
 // A hexagonal world for the memory stage: interference on, users spread
 // over the whole cluster, band radius as given (0 = dense).
 mac::CellularConfig memory_config(int cells, int voice, int data,
-                                  double band_radius_m) {
+                                  double band_radius_m,
+                                  common::RngKind rng = common::RngKind::kMt) {
   mac::CellularConfig cfg;
   cfg.num_cells = cells;
   cfg.num_threads = 1;
   cfg.params.num_voice_users = voice;
   cfg.params.num_data_users = data;
   cfg.params.seed = 2024;
+  cfg.params.traffic_rng = rng;
   cfg.params.channel.mean_snr_db = 26.0;
   cfg.params.channel.shadow_sigma_db = 6.0;
   cfg.layout.kind = mac::SiteLayoutConfig::Kind::kHex;
@@ -419,6 +421,12 @@ int main() {
     const auto dense_probe = probe_memory(
         memory_config(mem_cells, cal_voice, cal_users - cal_voice, 0.0),
         protocol);
+    // Compact before mt: probing the smaller world first bounds the
+    // allocator-reuse understatement for both sparse probes.
+    const auto compact_probe = probe_memory(
+        memory_config(mem_cells, mem_voice, mem_data, band_radius_m,
+                      common::RngKind::kCompact),
+        protocol);
     const auto sparse_probe = probe_memory(
         memory_config(mem_cells, mem_voice, mem_data, band_radius_m),
         protocol);
@@ -426,7 +434,11 @@ int main() {
         static_cast<double>(dense_probe.rss_bytes) / dense_probe.users;
     const double sparse_bpu =
         static_cast<double>(sparse_probe.rss_bytes) / sparse_probe.users;
+    const double compact_bpu =
+        static_cast<double>(compact_probe.rss_bytes) / compact_probe.users;
     const double ratio = sparse_bpu > 0.0 ? dense_bpu / sparse_bpu : 0.0;
+    const double compact_ratio =
+        compact_bpu > 0.0 ? sparse_bpu / compact_bpu : 0.0;
     std::cout << "\nmemory (sparse presence): " << total << " users, "
               << mem_cells << " hex cells, band radius " << band_radius_m
               << " m (mean " << common::TextTable::num(
@@ -439,7 +451,10 @@ int main() {
               << " cells/user): "
               << common::TextTable::num(dense_bpu / 1024.0, 1)
               << " KiB/user   ratio "
-              << common::TextTable::num(ratio, 2) << "x\n";
+              << common::TextTable::num(ratio, 2) << "x\n  traffic_rng=compact: "
+              << common::TextTable::num(compact_bpu / 1024.0, 2)
+              << " KiB/user   mt/compact ratio "
+              << common::TextTable::num(compact_ratio, 2) << "x\n";
     memory_fields << ",\n      \"peak_rss_bytes\": " << bench::peak_rss_bytes()
                   << ",\n      \"memory\": {\"users\": " << total
                   << ", \"cells\": " << mem_cells
@@ -447,7 +462,9 @@ int main() {
                   << ", \"band_cells_mean\": " << sparse_probe.band_cells_mean
                   << ", \"bytes_per_user\": " << sparse_bpu
                   << ", \"dense_model_bytes_per_user\": " << dense_bpu
-                  << ", \"dense_over_sparse_ratio\": " << ratio << "}";
+                  << ", \"dense_over_sparse_ratio\": " << ratio
+                  << ", \"compact_bytes_per_user\": " << compact_bpu
+                  << ", \"mt_over_compact_ratio\": " << compact_ratio << "}";
   }
 
   std::ostringstream fields;

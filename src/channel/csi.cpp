@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "common/math.hpp"
-
 namespace charisma::channel {
 
 CsiEstimator::CsiEstimator(double error_sigma_db, common::Time validity)
@@ -14,15 +12,6 @@ CsiEstimator::CsiEstimator(double error_sigma_db, common::Time validity)
   if (validity <= 0.0) {
     throw std::invalid_argument("CsiEstimator: validity must be > 0");
   }
-}
-
-CsiEstimate CsiEstimator::estimate(double true_snr_linear, common::Time now,
-                                   common::RngStream& rng) const {
-  double snr = true_snr_linear;
-  if (error_sigma_db_ > 0.0) {
-    snr *= common::from_db(rng.normal(0.0, error_sigma_db_));
-  }
-  return CsiEstimate{snr, now};
 }
 
 }  // namespace charisma::channel

@@ -8,7 +8,7 @@
 // backlog requests.
 #pragma once
 
-#include "common/rng.hpp"
+#include "common/math.hpp"
 #include "common/units.hpp"
 
 namespace charisma::channel {
@@ -34,8 +34,17 @@ class CsiEstimator {
   /// noise). validity: how long an estimate stays fresh (paper: 2 frames).
   CsiEstimator(double error_sigma_db, common::Time validity);
 
+  /// `rng` is the observed user's stream — any type with a
+  /// normal(mean, stddev) draw (RngStream, CompactRngStream, TrafficRng).
+  template <typename Rng>
   CsiEstimate estimate(double true_snr_linear, common::Time now,
-                       common::RngStream& rng) const;
+                       Rng& rng) const {
+    double snr = true_snr_linear;
+    if (error_sigma_db_ > 0.0) {
+      snr *= common::from_db(rng.normal(0.0, error_sigma_db_));
+    }
+    return CsiEstimate{snr, now};
+  }
 
   common::Time validity() const { return validity_; }
   double error_sigma_db() const { return error_sigma_db_; }

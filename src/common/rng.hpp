@@ -18,7 +18,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <random>
+#include <utility>
 
 namespace charisma::common {
 
@@ -209,8 +211,15 @@ class RngStream {
   /// small means, Hörmann's PTRS transformed rejection for large ones.
   int poisson(double mean);
 
-  /// Direct access for use with std:: distributions in tests.
-  std::mt19937_64& engine() { return engine_; }
+  /// Direct access for use with std:: distributions in tests and for
+  /// seeding derived generators. External draws advance the engine without
+  /// the distribution layer's knowledge, so any cached Box–Muller spare
+  /// would no longer be "the next variate after the engine's cursor" —
+  /// drop it to keep normal() consistent with the raw stream position.
+  std::mt19937_64& engine() {
+    has_spare_normal_ = false;
+    return engine_;
+  }
 
  private:
   int poisson_ptrs(double mean);
@@ -218,6 +227,152 @@ class RngStream {
   std::mt19937_64 engine_;
   double spare_normal_ = 0.0;
   bool has_spare_normal_ = false;
+};
+
+/// The ~24-byte counter-based alternative to RngStream: splitmix64 state
+/// (8 bytes) plus the cached Box–Muller spare, exposing the exact same
+/// distribution surface. The algorithms are shared with RngStream (rng.cpp
+/// instantiates one template layer for both), only the raw bit source
+/// differs — so moments match while realizations differ. Built for the
+/// per-attached-user traffic/MAC streams of very large sparse populations,
+/// where mt19937_64's ~2.5 KB state per stream dominates bytes-per-user.
+class CompactRngStream {
+ public:
+  explicit CompactRngStream(std::uint64_t seed) : state_(seed) {}
+  CompactRngStream(std::uint64_t root, std::uint64_t stream)
+      : state_(derive_seed(root, stream)) {}
+
+  /// Raw 64-bit draw (splitmix64: one add, three xor-multiplies).
+  std::uint64_t next() {
+    return detail::splitmix64_mix(state_ += detail::kSplitMixGamma);
+  }
+
+  /// Uniform in [0, 1), 53-bit mantissa-exact.
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n), unbiased (Lemire multiply-shift).
+  int uniform_int(int n);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal (Box–Muller with cached spare).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Standard normal via the shared 128-layer ziggurat tables.
+  double normal_fast();
+
+  /// Rayleigh *amplitude* with E[X^2] = mean_square.
+  double rayleigh_amplitude(double mean_square);
+
+  /// Log-normal specified in dB: 10^(N(mean_db, sigma_db)/10).
+  double lognormal_db(double mean_db, double sigma_db);
+
+  /// Poisson with the given mean (>= 0). Knuth below 10, PTRS beyond.
+  int poisson(double mean);
+
+  /// Raw counter state (cursor assertions in tests). Reading it does not
+  /// perturb the stream, but mirrors engine(): setting it would desync a
+  /// cached spare, so none is offered — reseed by constructing afresh.
+  std::uint64_t raw_state() const { return state_; }
+
+ private:
+  int poisson_ptrs(double mean);
+
+  std::uint64_t state_;
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// Which generator backs the per-user traffic/MAC streams of a scenario.
+/// kMt is the default and reproduces every historical pinned sequence bit
+/// for bit; kCompact collapses per-attached-user RNG state from ~2.5 KB to
+/// ~24 bytes per stream (opt-in, like channel=lazy: statistically
+/// equivalent, a different realization).
+enum class RngKind : std::uint8_t { kMt, kCompact };
+
+/// A per-user random stream that is either a heap-held RngStream (mt mode,
+/// the historical representation: the unique_ptr indirection is exactly
+/// what MobileUser used to hold, so mt draws stay bit-identical) or an
+/// inline CompactRngStream (compact mode, no heap at all). The dispatch
+/// branch is perfectly predicted — a scenario picks one kind and sticks
+/// with it.
+class TrafficRng {
+ public:
+  TrafficRng(RngKind kind, std::uint64_t root, std::uint64_t stream)
+      : compact_(kind == RngKind::kCompact ? CompactRngStream(root, stream)
+                                           : CompactRngStream(0)),
+        mt_(kind == RngKind::kMt ? std::make_unique<RngStream>(root, stream)
+                                 : nullptr) {}
+
+  /// Wraps an existing stream (mt mode). Implicit: keeps the historical
+  /// `VoiceSource(cfg, RngStream(seed))`-style call sites compiling.
+  TrafficRng(RngStream stream)  // NOLINT(google-explicit-constructor)
+      : compact_(0), mt_(std::make_unique<RngStream>(std::move(stream))) {}
+
+  /// Wraps an existing compact stream (compact mode).
+  TrafficRng(CompactRngStream stream)  // NOLINT(google-explicit-constructor)
+      : compact_(stream) {}
+
+  TrafficRng(const TrafficRng& other)
+      : compact_(other.compact_),
+        mt_(other.mt_ ? std::make_unique<RngStream>(*other.mt_) : nullptr) {}
+  TrafficRng& operator=(const TrafficRng& other) {
+    if (this != &other) {
+      compact_ = other.compact_;
+      mt_ = other.mt_ ? std::make_unique<RngStream>(*other.mt_) : nullptr;
+    }
+    return *this;
+  }
+  TrafficRng(TrafficRng&&) noexcept = default;
+  TrafficRng& operator=(TrafficRng&&) noexcept = default;
+
+  RngKind kind() const { return mt_ ? RngKind::kMt : RngKind::kCompact; }
+
+  double uniform() { return mt_ ? mt_->uniform() : compact_.uniform(); }
+  double uniform(double lo, double hi) {
+    return mt_ ? mt_->uniform(lo, hi) : compact_.uniform(lo, hi);
+  }
+  int uniform_int(int n) {
+    return mt_ ? mt_->uniform_int(n) : compact_.uniform_int(n);
+  }
+  bool bernoulli(double p) {
+    return mt_ ? mt_->bernoulli(p) : compact_.bernoulli(p);
+  }
+  double exponential(double mean) {
+    return mt_ ? mt_->exponential(mean) : compact_.exponential(mean);
+  }
+  double normal() { return mt_ ? mt_->normal() : compact_.normal(); }
+  double normal(double mean, double stddev) {
+    return mt_ ? mt_->normal(mean, stddev) : compact_.normal(mean, stddev);
+  }
+  double normal_fast() {
+    return mt_ ? mt_->normal_fast() : compact_.normal_fast();
+  }
+  double rayleigh_amplitude(double mean_square) {
+    return mt_ ? mt_->rayleigh_amplitude(mean_square)
+               : compact_.rayleigh_amplitude(mean_square);
+  }
+  double lognormal_db(double mean_db, double sigma_db) {
+    return mt_ ? mt_->lognormal_db(mean_db, sigma_db)
+               : compact_.lognormal_db(mean_db, sigma_db);
+  }
+  int poisson(double mean) {
+    return mt_ ? mt_->poisson(mean) : compact_.poisson(mean);
+  }
+
+ private:
+  CompactRngStream compact_;     // active iff mt_ == nullptr
+  std::unique_ptr<RngStream> mt_;
 };
 
 }  // namespace charisma::common

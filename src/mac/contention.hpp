@@ -6,10 +6,9 @@
 // same request phase.
 #pragma once
 
-#include <functional>
+#include <stdexcept>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "common/units.hpp"
 
 namespace charisma::mac {
@@ -35,11 +34,58 @@ struct ContentionOutcome {
 
 /// Runs `minislots` request slots over `candidates`. `permission(id)` gives
 /// each user's permission probability; `rng_of(id)` must return that user's
-/// private stream (keeps runs reproducible regardless of candidate-set
-/// composition). Winners are removed from contention as they succeed.
+/// private stream — any stream type with a bernoulli(double) draw
+/// (RngStream, CompactRngStream or the TrafficRng dispatcher) — which
+/// keeps runs reproducible regardless of candidate-set composition.
+/// Winners are removed from contention as they succeed.
+template <typename Permission, typename RngOf>
 ContentionOutcome run_request_phase(
     const std::vector<common::UserId>& candidates, int minislots,
-    const std::function<double(common::UserId)>& permission,
-    const std::function<common::RngStream&(common::UserId)>& rng_of);
+    Permission&& permission, RngOf&& rng_of) {
+  if (minislots < 0) {
+    throw std::invalid_argument("run_request_phase: negative minislots");
+  }
+  ContentionOutcome outcome;
+  outcome.tally.minislots = minislots;
+
+  // Track candidates by index: `won[i]` removes them from contention,
+  // `ever_transmitted[i]` feeds the backoff stabilization.
+  std::vector<bool> won(candidates.size(), false);
+  std::vector<bool> ever_transmitted(candidates.size(), false);
+  std::size_t remaining = candidates.size();
+
+  for (int slot = 0; slot < minislots && remaining > 0; ++slot) {
+    std::size_t transmitter_index = candidates.size();
+    int transmitted = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (won[i]) continue;
+      if (rng_of(candidates[i]).bernoulli(permission(candidates[i]))) {
+        ++transmitted;
+        transmitter_index = i;
+        ever_transmitted[i] = true;
+      }
+    }
+    outcome.tally.transmissions += transmitted;
+    if (transmitted == 1) {
+      ++outcome.tally.successes;
+      outcome.winners.push_back(candidates[transmitter_index]);
+      won[transmitter_index] = true;
+      --remaining;
+    } else if (transmitted > 1) {
+      ++outcome.tally.collisions;
+    } else {
+      ++outcome.tally.idle;
+    }
+  }
+  // Minislots after the candidate pool empties are idle.
+  outcome.tally.idle +=
+      minislots - outcome.tally.successes - outcome.tally.collisions -
+      outcome.tally.idle;
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (ever_transmitted[i]) outcome.transmitted.push_back(candidates[i]);
+  }
+  return outcome;
+}
 
 }  // namespace charisma::mac

@@ -1,6 +1,7 @@
 #include "mac/engine.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace charisma::mac {
@@ -316,7 +317,7 @@ ContentionOutcome ProtocolEngine::run_contention(
         const auto& u = user(id);
         return permission_prob(u) * u.backoff_scale();
       },
-      [this](common::UserId id) -> common::RngStream& {
+      [this](common::UserId id) -> common::TrafficRng& {
         return user(id).rng();
       });
   note_contention(outcome.tally);
@@ -444,7 +445,7 @@ int ProtocolEngine::transmit_data_fixed(MobileUser& u) {
   }
   ++metrics_.data_retransmissions;
   metrics_.energy_wasted_j += energy;
-  src.push_front({arrival});
+  src.push_front(std::span<const common::Time>(&arrival, 1));
   return 0;
 }
 
@@ -461,7 +462,10 @@ int ProtocolEngine::transmit_data_adaptive(MobileUser& u, int mode,
   const common::Time t = sim_.now();
   const int to_send = std::min(cap, src.backlog());
   int delivered = 0;
-  std::vector<common::Time> failed;
+  // Reused across frames: a steady-state retransmission burst must not
+  // allocate (the frame_alloc pin covers this path).
+  std::vector<common::Time>& failed = retx_scratch_;
+  failed.clear();
   for (int i = 0; i < to_send; ++i) {
     const common::Time arrival = src.head_arrival();
     src.pop_head();

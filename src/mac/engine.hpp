@@ -339,6 +339,9 @@ class ProtocolEngine {
   channel::CsiEstimator csi_estimator_;
   common::RngStream bs_rng_;
   common::FrameIndex frame_index_ = 0;
+  /// Failed-arrival scratch for transmit_data_adaptive, reused across
+  /// frames so steady-state ARQ retransmissions stay allocation-free.
+  std::vector<common::Time> retx_scratch_;
 
  private:
   /// One firing of the simulator's periodic slot: advance the world, run

@@ -68,13 +68,13 @@ MobileUser::MobileUser(common::UserId id, ServiceType service,
       channel_(make_channel(id, params, seed_, &bank)) {}
 
 void MobileUser::ensure_traffic(const ScenarioParams& params) {
-  if (rng_ == nullptr) {
-    rng_ = std::make_unique<common::RngStream>(
-        seed_, kMacStream + static_cast<std::uint64_t>(id_));
+  if (!rng_.has_value()) {
+    rng_.emplace(params.traffic_rng, seed_,
+                 kMacStream + static_cast<std::uint64_t>(id_));
   }
   if (voice_ != nullptr || data_ != nullptr) return;  // adopted on handoff
-  common::RngStream source_rng(seed_,
-                               kSourceStream + static_cast<std::uint64_t>(id_));
+  common::TrafficRng source_rng(params.traffic_rng, seed_,
+                                kSourceStream + static_cast<std::uint64_t>(id_));
   if (service_ == ServiceType::kVoice) {
     traffic::VoiceSourceConfig cfg;
     cfg.mean_talkspurt_s = params.mean_talkspurt_s;

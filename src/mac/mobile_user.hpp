@@ -9,11 +9,16 @@
 // needs its pilot), traffic sources and MAC stream deferred until the user
 // actually attaches (ensure_traffic). A shell is ~a hundred bytes; the
 // mt19937_64-backed streams it defers are ~2.5 KB each, which is what
-// makes band-local worlds with very large populations affordable.
+// makes band-local worlds with very large populations affordable. Under
+// ScenarioParams::traffic_rng = kCompact the deferred streams themselves
+// shrink to ~24 bytes (splitmix64 counters), so even *attached* users stay
+// cheap — the remaining per-user cost is the channel row and the sources'
+// queues.
 #pragma once
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "channel/user_channel.hpp"
 #include "common/rng.hpp"
@@ -62,11 +67,11 @@ class MobileUser {
   traffic::DataSource& data() { return *data_; }
   const traffic::DataSource& data() const { return *data_; }
 
-  common::RngStream& rng() { return *rng_; }
+  common::TrafficRng& rng() { return *rng_; }
 
   /// True once the MAC stream (and, unless adopted, the traffic source)
   /// exist. Shells must ensure_traffic before first presence.
-  bool traffic_ready() const { return rng_ != nullptr; }
+  bool traffic_ready() const { return rng_.has_value(); }
 
   /// Materializes the deferred per-user state: the MAC stream always, the
   /// traffic source only when none exists yet (a handoff adopts the
@@ -125,7 +130,7 @@ class MobileUser {
   common::UserId id_;
   ServiceType service_;
   std::uint64_t seed_;  // visit-derived scenario seed (visit 0: the plain one)
-  std::unique_ptr<common::RngStream> rng_;
+  std::optional<common::TrafficRng> rng_;
   channel::UserChannel channel_;
   std::unique_ptr<traffic::VoiceSource> voice_;
   std::unique_ptr<traffic::DataSource> data_;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "channel/user_channel.hpp"
+#include "common/rng.hpp"
 #include "mac/barring.hpp"
 #include "mac/energy.hpp"
 #include "mac/geometry.hpp"
@@ -58,6 +59,15 @@ struct ScenarioParams {
   /// width and touch batching, but a different realization than eager —
   /// a k-jump consumes one innovation set where k unit steps consume k.
   bool lazy_channel = false;
+
+  /// Which generator backs the per-user traffic/MAC streams (kMt — the
+  /// default — keeps the historical mt19937_64 streams and reproduces
+  /// every pinned sequence and golden metric bit for bit; kCompact swaps
+  /// in ~24-byte splitmix64-counter streams, collapsing the per-attached-
+  /// user RNG footprint by two orders of magnitude at the price of a
+  /// different — statistically equivalent — realization, like lazy_channel).
+  /// Channel and base-station streams are unaffected either way.
+  common::RngKind traffic_rng = common::RngKind::kMt;
 
   /// Sparse presence (CellularWorld): when true the engine starts with an
   /// *empty* population and the world admits users into each cell's band

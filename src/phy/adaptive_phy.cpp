@@ -31,9 +31,4 @@ double AdaptivePhy::packet_error_rate(int mode,
   return table_.mode(mode).per(true_snr_linear, config_.packet_bits);
 }
 
-bool AdaptivePhy::transmit_packet(int mode, double true_snr_linear,
-                                  common::RngStream& rng) const {
-  return !rng.bernoulli(packet_error_rate(mode, true_snr_linear));
-}
-
 }  // namespace charisma::phy

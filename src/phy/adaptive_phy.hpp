@@ -9,7 +9,6 @@
 
 #include <optional>
 
-#include "common/rng.hpp"
 #include "phy/modes.hpp"
 
 namespace charisma::phy {
@@ -47,9 +46,13 @@ class AdaptivePhy {
   /// is at `true_snr_linear`.
   double packet_error_rate(int mode, double true_snr_linear) const;
 
-  /// Draws a packet success for one transmission.
-  bool transmit_packet(int mode, double true_snr_linear,
-                       common::RngStream& rng) const;
+  /// Draws a packet success for one transmission from the user's stream —
+  /// any type with a bernoulli(double) draw (RngStream, CompactRngStream,
+  /// TrafficRng).
+  template <typename Rng>
+  bool transmit_packet(int mode, double true_snr_linear, Rng& rng) const {
+    return !rng.bernoulli(packet_error_rate(mode, true_snr_linear));
+  }
 
   const ModeTable& table() const { return table_; }
   const PhyConfig& config() const { return config_; }

@@ -28,9 +28,4 @@ double FixedPhy::packet_error_rate(double true_snr_linear) const {
   return mode_.per(true_snr_linear, packet_bits_);
 }
 
-bool FixedPhy::transmit_packet(double true_snr_linear,
-                               common::RngStream& rng) const {
-  return !rng.bernoulli(packet_error_rate(true_snr_linear));
-}
-
 }  // namespace charisma::phy

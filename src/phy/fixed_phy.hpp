@@ -6,7 +6,6 @@
 // §5.3.1).
 #pragma once
 
-#include "common/rng.hpp"
 #include "phy/modes.hpp"
 
 namespace charisma::phy {
@@ -26,7 +25,13 @@ class FixedPhy {
 
   double ber(double true_snr_linear) const { return mode_.ber(true_snr_linear); }
   double packet_error_rate(double true_snr_linear) const;
-  bool transmit_packet(double true_snr_linear, common::RngStream& rng) const;
+
+  /// Draws a packet success from the user's stream — any type with a
+  /// bernoulli(double) draw (RngStream, CompactRngStream, TrafficRng).
+  template <typename Rng>
+  bool transmit_packet(double true_snr_linear, Rng& rng) const {
+    return !rng.bernoulli(packet_error_rate(true_snr_linear));
+  }
 
   double ber_reference_db() const { return mode_.threshold_db; }
   int packet_bits() const { return packet_bits_; }

@@ -127,10 +127,13 @@ common::Time DtdmaProtocol::process_frame() {
 
   // 3. FCFS service: queued requests first (oldest), then this frame's
   //    winners in minislot order. Unserved requests stay queued only in
-  //    the with-queue configuration (§4.5).
-  std::vector<mac::PendingRequest> to_serve(queue_.entries().begin(),
-                                            queue_.entries().end());
-  queue_.clear();
+  //    the with-queue configuration (§4.5). Voice outranks data in every
+  //    protocol of the study (paper §1): serve all voice requests before
+  //    any data request, FCFS within each class — the class-by-class
+  //    two-pass build below reproduces a stable voice-first partition of
+  //    [queue entries, winners] in reused member scratch, so the
+  //    steady-state serve path allocates nothing.
+  winner_scratch_.clear();
   for (common::UserId uid : outcome.winners) {
     mac::PendingRequest request;
     request.user = uid;
@@ -145,16 +148,19 @@ common::Time DtdmaProtocol::process_frame() {
       request.packets_requested = u.data().backlog();
     }
     request.acked_at = now();
-    to_serve.push_back(request);
+    winner_scratch_.push_back(request);
   }
-
-  // Voice outranks data in every protocol of the study (paper §1): serve
-  // all voice requests before any data request, FCFS within each class.
-  std::stable_partition(to_serve.begin(), to_serve.end(),
-                        [](const mac::PendingRequest& r) {
-                          return r.type == mac::RequestType::kVoice;
-                        });
-  for (auto& request : to_serve) {
+  serve_scratch_.clear();
+  for (auto type : {mac::RequestType::kVoice, mac::RequestType::kData}) {
+    for (const auto& request : queue_.entries()) {
+      if (request.type == type) serve_scratch_.push_back(request);
+    }
+    for (const auto& request : winner_scratch_) {
+      if (request.type == type) serve_scratch_.push_back(request);
+    }
+  }
+  queue_.clear();
+  for (auto& request : serve_scratch_) {
     const bool finished = serve_request(request, phase, free_slots);
     if (!finished && params_.request_queue) {
       ++request.frames_waited;

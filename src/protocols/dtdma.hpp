@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "mac/engine.hpp"
 #include "mac/request_queue.hpp"
@@ -53,6 +54,11 @@ class DtdmaProtocol : public mac::ProtocolEngine {
   PhyVariant variant_;
   mac::ReservationGrid grid_;
   mac::RequestQueue queue_;
+  // Reused across frames so the steady-state serve path (queued requests +
+  // this frame's winners, voice first) allocates nothing — the frame_alloc
+  // pin drives a retransmitting data queue through here.
+  std::vector<mac::PendingRequest> winner_scratch_;
+  std::vector<mac::PendingRequest> serve_scratch_;
 };
 
 }  // namespace charisma::protocols

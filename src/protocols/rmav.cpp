@@ -63,7 +63,7 @@ common::Time RmavProtocol::process_frame() {
       [this](common::UserId id) {
         return options_.permission_prob * user(id).backoff_scale();
       },
-      [this](common::UserId id) -> common::RngStream& {
+      [this](common::UserId id) -> common::TrafficRng& {
         return user(id).rng();
       });
   note_contention(outcome.tally);

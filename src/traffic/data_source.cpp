@@ -10,7 +10,7 @@ namespace {
 constexpr double kTimeEps = 1e-9;
 }
 
-DataSource::DataSource(const DataSourceConfig& config, common::RngStream rng)
+DataSource::DataSource(const DataSourceConfig& config, common::TrafficRng rng)
     : config_(config), rng_(std::move(rng)) {
   if (config.mean_interarrival_s <= 0.0 || config.mean_burst_packets < 1.0) {
     throw std::invalid_argument("DataSource: invalid traffic parameters");
@@ -62,7 +62,7 @@ void DataSource::pop_head() {
   queue_.pop_front();
 }
 
-void DataSource::push_front(const std::vector<common::Time>& arrivals) {
+void DataSource::push_front(std::span<const common::Time> arrivals) {
   // Re-insert in original order: the last element pushed lands at the very
   // front, so iterate in reverse.
   for (auto it = arrivals.rbegin(); it != arrivals.rend(); ++it) {

@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <vector>
+#include <span>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -36,7 +36,10 @@ struct DataSourceConfig {
 
 class DataSource {
  public:
-  DataSource(const DataSourceConfig& config, common::RngStream rng);
+  /// `rng` is the source's private stream: an mt-backed RngStream converts
+  /// implicitly (the historical call shape), a CompactRngStream gives the
+  /// ~24-byte per-user representation of large sparse populations.
+  DataSource(const DataSourceConfig& config, common::TrafficRng rng);
 
   struct FrameUpdate {
     int bursts_arrived = 0;
@@ -58,8 +61,10 @@ class DataSource {
   void pop_head();
 
   /// Returns failed packets (by arrival time) to the head of the queue in
-  /// their original order — the datalink ARQ path.
-  void push_front(const std::vector<common::Time>& arrivals);
+  /// their original order — the datalink ARQ path. Takes a view: callers
+  /// already hold the arrivals contiguously (a local array or a reused
+  /// scratch buffer), so no per-frame vector is materialized.
+  void push_front(std::span<const common::Time> arrivals);
 
   std::int64_t packets_generated() const { return packets_generated_; }
   const DataSourceConfig& config() const { return config_; }
@@ -80,7 +85,7 @@ class DataSource {
   double next_gap(common::Time ref);
 
   DataSourceConfig config_;
-  common::RngStream rng_;
+  common::TrafficRng rng_;
   double rate_scale_ = 1.0;
   bool mmpp_high_ = false;
   common::Time mmpp_toggle_at_ = 0.0;

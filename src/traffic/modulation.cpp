@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace charisma::traffic {
 
@@ -26,6 +27,34 @@ double rate_scale(const TrafficModulationConfig& cfg, common::Time t,
     }
   }
   return 1.0;
+}
+
+void validate_or_throw(const TrafficModulationConfig& cfg,
+                       const std::string& knob) {
+  const auto fail = [&knob](const std::string& what) {
+    throw std::invalid_argument(knob + "=: " + what);
+  };
+  switch (cfg.kind) {
+    case TrafficModulationConfig::Kind::kNone:
+      return;
+    case TrafficModulationConfig::Kind::kFlashCrowd:
+      if (!(cfg.radius_m > 0.0)) fail("radius must be > 0");
+      if (!(cfg.rate_multiplier > 0.0)) {
+        fail("multiplier must be > 0 (a non-positive rate scale would make "
+             "the sources' toggle times inf/NaN)");
+      }
+      if (!(cfg.end >= cfg.start)) fail("end must be >= start");
+      return;
+    case TrafficModulationConfig::Kind::kDiurnal:
+      if (!(cfg.amplitude >= 0.0 && cfg.amplitude < 1.0)) {
+        fail("amplitude must be in [0, 1) so the trough rate scale stays "
+             "positive");
+      }
+      if (!(cfg.period_s > 0.0)) fail("period_s must be > 0");
+      if (!(cfg.wavelength_m > 0.0)) fail("wavelength_m must be > 0");
+      return;
+  }
+  fail("unknown modulation kind");
 }
 
 }  // namespace charisma::traffic

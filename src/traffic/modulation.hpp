@@ -7,6 +7,8 @@
 // set_rate_scale calls entirely, keeping legacy runs bit-identical).
 #pragma once
 
+#include <string>
+
 #include "common/units.hpp"
 
 namespace charisma::traffic {
@@ -51,5 +53,15 @@ struct TrafficModulationConfig {
 /// (x, y). Exactly 1.0 for kNone.
 double rate_scale(const TrafficModulationConfig& cfg, common::Time t,
                   double x, double y);
+
+/// valid()'s verbose twin for config parse layers: throws
+/// std::invalid_argument naming `knob` (the CLI key, e.g. "flash" or
+/// "diurnal") and the offending field. The positivity constraints are what
+/// keep every rate_scale() result > 0 — a non-positive scale would turn
+/// the sources' divided exponential means into inf/NaN toggle times, which
+/// VoiceSource/DataSource::set_rate_scale also reject as a last line of
+/// defense.
+void validate_or_throw(const TrafficModulationConfig& cfg,
+                       const std::string& knob);
 
 }  // namespace charisma::traffic

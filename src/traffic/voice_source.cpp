@@ -12,7 +12,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 VoiceSource::VoiceSource(const VoiceSourceConfig& config,
-                         common::RngStream rng)
+                         common::TrafficRng rng)
     : config_(config), rng_(std::move(rng)) {
   if (config.mean_talkspurt_s <= 0.0 || config.mean_silence_s <= 0.0) {
     throw std::invalid_argument("VoiceSource: state means must be positive");

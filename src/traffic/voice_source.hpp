@@ -40,7 +40,10 @@ struct VoiceSourceConfig {
 
 class VoiceSource {
  public:
-  VoiceSource(const VoiceSourceConfig& config, common::RngStream rng);
+  /// `rng` is the source's private stream: an mt-backed RngStream converts
+  /// implicitly (the historical call shape), a CompactRngStream gives the
+  /// ~24-byte per-user representation of large sparse populations.
+  VoiceSource(const VoiceSourceConfig& config, common::TrafficRng rng);
 
   /// What happened since the previous call (events up to and including
   /// `now`).
@@ -79,7 +82,7 @@ class VoiceSource {
   void ensure_initialized(common::Time now);
 
   VoiceSourceConfig config_;
-  common::RngStream rng_;
+  common::TrafficRng rng_;
   double rate_scale_ = 1.0;
   bool talkspurt_ = false;
   common::Time state_until_ = 0.0;     ///< absolute toggle time

@@ -1,6 +1,9 @@
 #include "common/rng.hpp"
 
 #include <cmath>
+#include <tuple>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 namespace charisma::common {
@@ -269,6 +272,398 @@ TEST(RngStream, TwoArgConstructorMatchesDerivedSeed) {
   RngStream a(derive_seed(10, 20));
   RngStream b(10, 20);
   for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+// ---- RngStream::engine() spare invalidation (regression) ----
+// engine() hands out the raw mt19937_64; any external draw moves the
+// cursor, so a cached Box-Muller spare (computed from *earlier* cursor
+// positions) must be dropped or the next normal() silently returns a
+// variate that no replay of the raw stream can reproduce.
+
+TEST(RngStream, EngineAccessInvalidatesBoxMullerSpare) {
+  RngStream a(77);
+  (void)a.normal();    // consumes 2 draws, caches the sin-variate spare
+  (void)a.engine()();  // external draw: cursor moves, spare must die
+  const double after_external = a.normal();
+
+  // Reference stream replaying the identical raw-draw history with no
+  // spare ever cached: 2 draws (the pair above) + 1 external draw, then a
+  // fresh Box-Muller pair from the same cursor position.
+  RngStream ref(77);
+  (void)ref.engine()();
+  (void)ref.engine()();
+  (void)ref.engine()();
+  EXPECT_DOUBLE_EQ(after_external, ref.normal());
+}
+
+TEST(RngStream, EngineAccessAloneDoesNotPerturbSequence) {
+  // Touching engine() without drawing must not change what comes next
+  // beyond dropping the spare: interleave accesses that draw nothing.
+  RngStream a(78), b(78);
+  (void)a.engine();  // no draw, no spare yet: a no-op
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngStream, InterleavedEngineDrawsAndNormalsStayReproducible) {
+  // The full interleaving: every normal() between engine() draws must be
+  // derivable from the raw stream alone (count the draws), for several
+  // rounds. Two identical streams run the same interleaving and a third
+  // checks the draw accounting: 3 raw draws per round (1 external + 2
+  // Box-Muller).
+  RngStream a(79), b(79), raw(79);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(a.engine()(), b.engine()());
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+    for (int d = 0; d < 3; ++d) (void)raw.engine()();
+  }
+  // After 5 rounds all three cursors agree.
+  EXPECT_EQ(a.engine()(), raw.engine()());
+}
+
+// ---- CompactRngStream ----
+
+TEST(CompactRngStream, Deterministic) {
+  CompactRngStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(CompactRngStream, TwoArgConstructorMatchesDerivedSeed) {
+  CompactRngStream a(derive_seed(10, 20));
+  CompactRngStream b(10, 20);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(CompactRngStream, MatchesSplitMix64RawStream) {
+  // The raw bit source is exactly the repo's SplitMix64 (the ChannelBank
+  // lane kernel advances the same chain in flat arrays).
+  CompactRngStream a(9001);
+  SplitMix64 b(9001);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(CompactRngStream, UniformAdvancesCounterByOneGamma) {
+  CompactRngStream rng(5);
+  const std::uint64_t before = rng.raw_state();
+  (void)rng.uniform();
+  EXPECT_EQ(rng.raw_state(), before + detail::kSplitMixGamma);
+}
+
+// Seed-pinned compact sequences, locked the same way RngStreamPinned locks
+// the mt19937_64 realizations: these exact values cannot change without a
+// deliberate regeneration (which invalidates every compact-mode benchmark
+// recorded so far).
+
+TEST(CompactRngStreamPinned, RawSequence) {
+  CompactRngStream rng(12345);
+  const std::uint64_t expected[] = {
+      2454886589211414944ULL,
+      3778200017661327597ULL,
+      2205171434679333405ULL,
+      3248800117070709450ULL,
+  };
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.next(), e);
+}
+
+TEST(CompactRngStreamPinned, UniformSequence) {
+  CompactRngStream rng(12345);
+  const double expected[] = {
+      0.13307966866142729, 0.20481663336165912, 0.11954258300911547,
+      0.17611780724496118, 0.50688021550745599, 0.33703454463939386,
+  };
+  for (double e : expected) EXPECT_DOUBLE_EQ(rng.uniform(), e);
+}
+
+TEST(CompactRngStreamPinned, NormalSequence) {
+  CompactRngStream rng(12345);
+  const double expected[] = {
+      0.56254351858757046, 1.9279936267801183,  0.9228021975298103,
+      1.8429870753916224,  -0.60619054616879076, 0.99573799314816358,
+  };
+  // Box-Muller goes through libm (log/sqrt/sin/cos), so allow a few ulp of
+  // cross-platform slack while still pinning the realization.
+  for (double e : expected) EXPECT_NEAR(rng.normal(), e, 1e-12);
+}
+
+TEST(CompactRngStreamPinned, UniformIntSequence) {
+  CompactRngStream rng(12345);
+  const int expected[] = {12, 19, 11, 17, 49, 32, 11, 41};
+  for (int e : expected) EXPECT_EQ(rng.uniform_int(97), e);
+}
+
+TEST(CompactRngStreamPinned, PoissonSequences) {
+  {
+    CompactRngStream rng(12345);  // Knuth path
+    const int expected[] = {2, 3, 4, 8, 2, 2, 2, 5};
+    for (int e : expected) EXPECT_EQ(rng.poisson(4.2), e);
+  }
+  {
+    CompactRngStream rng(12345);  // PTRS path
+    const int expected[] = {32, 31, 40, 31, 40, 33, 46, 46};
+    for (int e : expected) EXPECT_EQ(rng.poisson(40.0), e);
+  }
+}
+
+TEST(CompactRngStreamPinned, ExponentialSequence) {
+  CompactRngStream rng(12345);
+  const double expected[] = {
+      4.0336146352096369, 3.1712803430570555,
+      4.2481652558264136, 3.4732042970373307,
+  };
+  for (double e : expected) EXPECT_NEAR(rng.exponential(2.0), e, 1e-12);
+}
+
+// ---- Distribution equivalence: CompactRngStream vs RngStream ----
+// Both generators run the *same* distribution algorithms (rng.cpp
+// instantiates one template layer for both); only the raw bit source
+// differs. Moments at fixed N must therefore agree within sampling error
+// — computed on both streams and compared to each other as well as to the
+// analytic values.
+
+struct Moments {
+  double mean = 0.0;
+  double var = 0.0;
+};
+
+template <typename Rng, typename Draw>
+Moments moments_of(Rng& rng, int n, Draw draw) {
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = draw(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  return {mean, sum2 / n - mean * mean};
+}
+
+TEST(CompactVsMt, UniformMoments) {
+  constexpr int kN = 400000;
+  RngStream mt(101);
+  CompactRngStream compact(101);
+  const auto draw = [](auto& r) { return r.uniform(); };
+  const Moments a = moments_of(mt, kN, draw);
+  const Moments b = moments_of(compact, kN, draw);
+  EXPECT_NEAR(a.mean, 0.5, 0.002);
+  EXPECT_NEAR(b.mean, 0.5, 0.002);
+  EXPECT_NEAR(a.var, 1.0 / 12.0, 0.001);
+  EXPECT_NEAR(b.var, 1.0 / 12.0, 0.001);
+  EXPECT_NEAR(a.mean, b.mean, 0.004);
+}
+
+TEST(CompactVsMt, ExponentialMoments) {
+  constexpr int kN = 400000;
+  RngStream mt(103);
+  CompactRngStream compact(103);
+  const auto draw = [](auto& r) { return r.exponential(1.35); };
+  const Moments a = moments_of(mt, kN, draw);
+  const Moments b = moments_of(compact, kN, draw);
+  EXPECT_NEAR(a.mean, 1.35, 0.01);
+  EXPECT_NEAR(b.mean, 1.35, 0.01);
+  EXPECT_NEAR(a.var, 1.35 * 1.35, 0.05);
+  EXPECT_NEAR(b.var, 1.35 * 1.35, 0.05);
+}
+
+TEST(CompactVsMt, NormalMomentsAndTails) {
+  constexpr int kN = 1000000;
+  RngStream mt(107);
+  CompactRngStream compact(107);
+  const auto tails = [](auto& rng) {
+    double sum = 0.0, sum2 = 0.0;
+    int beyond_2 = 0;
+    for (int i = 0; i < kN; ++i) {
+      const double x = rng.normal();
+      sum += x;
+      sum2 += x * x;
+      if (std::fabs(x) > 2.0) ++beyond_2;
+    }
+    return std::tuple{sum / kN, sum2 / kN, beyond_2 / static_cast<double>(kN)};
+  };
+  const auto [m_mean, m_m2, m_tail] = tails(mt);
+  const auto [c_mean, c_m2, c_tail] = tails(compact);
+  EXPECT_NEAR(m_mean, 0.0, 0.005);
+  EXPECT_NEAR(c_mean, 0.0, 0.005);
+  EXPECT_NEAR(m_m2, 1.0, 0.01);
+  EXPECT_NEAR(c_m2, 1.0, 0.01);
+  EXPECT_NEAR(m_tail, 0.0455, 0.002);
+  EXPECT_NEAR(c_tail, 0.0455, 0.002);
+}
+
+TEST(CompactVsMt, NormalFastMomentsAndTails) {
+  // The ziggurat path over the splitmix64 source (wedge + tail rejection
+  // included).
+  constexpr int kN = 1000000;
+  CompactRngStream compact(109);
+  double sum = 0.0, sum2 = 0.0, sum4 = 0.0;
+  int beyond_3 = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = compact.normal_fast();
+    sum += x;
+    sum2 += x * x;
+    sum4 += x * x * x * x;
+    if (std::fabs(x) > 3.0) ++beyond_3;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.005);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.01);
+  EXPECT_NEAR(sum4 / kN, 3.0, 0.05);
+  EXPECT_NEAR(beyond_3 / static_cast<double>(kN), 0.0027, 0.0005);
+}
+
+TEST(CompactVsMt, BernoulliRate) {
+  constexpr int kN = 200000;
+  RngStream mt(113);
+  CompactRngStream compact(113);
+  int a = 0, b = 0;
+  for (int i = 0; i < kN; ++i) {
+    a += mt.bernoulli(0.3);
+    b += compact.bernoulli(0.3);
+  }
+  EXPECT_NEAR(a / static_cast<double>(kN), 0.3, 0.005);
+  EXPECT_NEAR(b / static_cast<double>(kN), 0.3, 0.005);
+}
+
+TEST(CompactVsMt, UniformIntMeanAndCoverage) {
+  constexpr int kN = 200000;
+  RngStream mt(127);
+  CompactRngStream compact(127);
+  const auto stats = [](auto& rng) {
+    double sum = 0.0;
+    int lo = 0;
+    for (int i = 0; i < kN; ++i) {
+      const int v = rng.uniform_int(1000);
+      sum += v;
+      if (v < 100) ++lo;
+    }
+    return std::pair{sum / kN, lo / static_cast<double>(kN)};
+  };
+  const auto [m_mean, m_lo] = stats(mt);
+  const auto [c_mean, c_lo] = stats(compact);
+  EXPECT_NEAR(m_mean, 499.5, 2.5);
+  EXPECT_NEAR(c_mean, 499.5, 2.5);
+  EXPECT_NEAR(m_lo, 0.1, 0.005);
+  EXPECT_NEAR(c_lo, 0.1, 0.005);
+}
+
+TEST(CompactVsMt, PoissonBothBranches) {
+  constexpr int kN = 200000;
+  for (const double mean : {4.2, 30.0}) {  // Knuth and PTRS branches
+    RngStream mt(131);
+    CompactRngStream compact(131);
+    const auto draw = [mean](auto& r) {
+      return static_cast<double>(r.poisson(mean));
+    };
+    const Moments a = moments_of(mt, kN, draw);
+    const Moments b = moments_of(compact, kN, draw);
+    EXPECT_NEAR(a.mean, mean, mean * 0.01) << "mean=" << mean;
+    EXPECT_NEAR(b.mean, mean, mean * 0.01) << "mean=" << mean;
+    EXPECT_NEAR(a.var, mean, mean * 0.05) << "mean=" << mean;
+    EXPECT_NEAR(b.var, mean, mean * 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(CompactVsMt, RayleighMeanSquare) {
+  constexpr int kN = 200000;
+  RngStream mt(137);
+  CompactRngStream compact(137);
+  double a2 = 0.0, b2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double a = mt.rayleigh_amplitude(2.5);
+    const double b = compact.rayleigh_amplitude(2.5);
+    a2 += a * a;
+    b2 += b * b;
+  }
+  EXPECT_NEAR(a2 / kN, 2.5, 0.05);
+  EXPECT_NEAR(b2 / kN, 2.5, 0.05);
+}
+
+TEST(CompactVsMt, LognormalDbMedian) {
+  constexpr int kN = 200000;
+  RngStream mt(139);
+  CompactRngStream compact(139);
+  int a = 0, b = 0;
+  const double median = std::pow(10.0, 0.3);
+  for (int i = 0; i < kN; ++i) {
+    if (mt.lognormal_db(3.0, 8.0) < median) ++a;
+    if (compact.lognormal_db(3.0, 8.0) < median) ++b;
+  }
+  EXPECT_NEAR(a / static_cast<double>(kN), 0.5, 0.01);
+  EXPECT_NEAR(b / static_cast<double>(kN), 0.5, 0.01);
+}
+
+TEST(CompactRngStream, DomainErrorsMatchRngStream) {
+  CompactRngStream rng(7);
+  EXPECT_THROW(rng.uniform_int(0), std::domain_error);
+  EXPECT_THROW(rng.exponential(0.0), std::domain_error);
+  EXPECT_THROW(rng.rayleigh_amplitude(0.0), std::domain_error);
+  EXPECT_THROW(rng.poisson(-1.0), std::domain_error);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+// ---- TrafficRng: the per-user stream-kind dispatcher ----
+
+TEST(TrafficRng, MtKindReproducesRngStreamBitForBit) {
+  TrafficRng t(RngKind::kMt, 42, 7);
+  RngStream ref(42, 7);
+  EXPECT_EQ(t.kind(), RngKind::kMt);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(t.uniform(), ref.uniform());
+  EXPECT_EQ(t.uniform_int(97), ref.uniform_int(97));
+  EXPECT_NEAR(t.normal(), ref.normal(), 0.0);
+  EXPECT_EQ(t.poisson(4.2), ref.poisson(4.2));
+  EXPECT_NEAR(t.exponential(2.0), ref.exponential(2.0), 0.0);
+}
+
+TEST(TrafficRng, CompactKindReproducesCompactStreamBitForBit) {
+  TrafficRng t(RngKind::kCompact, 42, 7);
+  CompactRngStream ref(42, 7);
+  EXPECT_EQ(t.kind(), RngKind::kCompact);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(t.uniform(), ref.uniform());
+  EXPECT_EQ(t.uniform_int(97), ref.uniform_int(97));
+  EXPECT_NEAR(t.normal(), ref.normal(), 0.0);
+  EXPECT_EQ(t.poisson(4.2), ref.poisson(4.2));
+}
+
+TEST(TrafficRng, ImplicitConversionFromStreams) {
+  // The historical call shape — passing an RngStream by value — must keep
+  // compiling and draw the same sequence.
+  TrafficRng from_mt = RngStream(555);
+  RngStream mt_ref(555);
+  EXPECT_EQ(from_mt.kind(), RngKind::kMt);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(from_mt.uniform(), mt_ref.uniform());
+  }
+
+  TrafficRng from_compact = CompactRngStream(555);
+  CompactRngStream c_ref(555);
+  EXPECT_EQ(from_compact.kind(), RngKind::kCompact);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(from_compact.uniform(), c_ref.uniform());
+  }
+}
+
+TEST(TrafficRng, CopyIsDeepForBothKinds) {
+  for (const RngKind kind : {RngKind::kMt, RngKind::kCompact}) {
+    TrafficRng original(kind, 9, 9);
+    (void)original.uniform();
+    TrafficRng copy = original;  // snapshot mid-stream
+    // Advancing the copy must not move the original (a handoff's adopted
+    // source must fork, not alias).
+    const double from_copy = copy.uniform();
+    const double from_original = original.uniform();
+    EXPECT_DOUBLE_EQ(from_copy, from_original);
+    TrafficRng assigned(RngKind::kMt, 1, 1);
+    assigned = original;
+    EXPECT_DOUBLE_EQ(assigned.uniform(), original.uniform());
+  }
+}
+
+TEST(TrafficRng, CompactFootprintStaysSmall) {
+  // The entire point: a compact-mode TrafficRng is a counter + spare +
+  // flag + an (empty) mt pointer — two orders of magnitude below the
+  // ~2.5 KB mt19937_64 state it replaces.
+  static_assert(sizeof(CompactRngStream) <= 24);
+  static_assert(sizeof(TrafficRng) <= 40);
+  EXPECT_GE(sizeof(RngStream), 2500u);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 
 namespace charisma::traffic {
@@ -91,7 +93,8 @@ TEST(DataSource, PushFrontPreservesOrder) {
   const double b = src.head_arrival();
   src.pop_head();
   // ARQ: the two failed packets return to the head in original order.
-  src.push_front({a, b});
+  const double failed[] = {a, b};
+  src.push_front(failed);
   EXPECT_DOUBLE_EQ(src.head_arrival(), a);
   src.pop_head();
   EXPECT_DOUBLE_EQ(src.head_arrival(), b);
@@ -121,6 +124,23 @@ TEST(DataSource, InvalidConfig) {
   cfg = test_config();
   cfg.mean_burst_packets = 0.5;
   EXPECT_THROW(DataSource(cfg, common::RngStream(1)), std::invalid_argument);
+}
+
+TEST(DataSource, RejectsNonPositiveRateScale) {
+  // Mirror of VoiceSource.RejectsNonPositiveRateScale: a scale <= 0 would
+  // make next_gap's divided mean inf/NaN, so the setter throws and keeps
+  // the previous scale.
+  DataSource src(test_config(), common::RngStream(11));
+  EXPECT_THROW(src.set_rate_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(src.set_rate_scale(-0.5), std::invalid_argument);
+  EXPECT_THROW(src.set_rate_scale(std::nan("")), std::invalid_argument);
+  src.set_rate_scale(3.0);
+  EXPECT_THROW(src.set_rate_scale(0.0), std::invalid_argument);
+  DataSource ref(test_config(), common::RngStream(11));
+  ref.set_rate_scale(3.0);
+  for (double t = 0.0; t < 100.0; t += 0.1) {
+    ASSERT_EQ(src.on_frame(t).packets_arrived, ref.on_frame(t).packets_arrived);
+  }
 }
 
 TEST(DataSource, BurstsAreAtLeastOnePacket) {

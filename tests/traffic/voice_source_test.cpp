@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 
 namespace charisma::traffic {
@@ -166,6 +168,27 @@ TEST(VoiceSource, InvalidConfig) {
   cfg = test_config();
   cfg.voice_period = 0.0;
   EXPECT_THROW(VoiceSource(cfg, common::RngStream(1)), std::invalid_argument);
+}
+
+TEST(VoiceSource, RejectsNonPositiveRateScale) {
+  // A scale <= 0 would turn the divided exponential means into inf/NaN
+  // toggle times, silently freezing the on/off chain. The source is the
+  // last line of defense behind traffic::validate_or_throw at the config
+  // parse layer — both must reject.
+  VoiceSource src(test_config(), common::RngStream(12));
+  EXPECT_THROW(src.set_rate_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(src.set_rate_scale(-1.0), std::invalid_argument);
+  EXPECT_THROW(src.set_rate_scale(std::nan("")), std::invalid_argument);
+  // A rejected call leaves the previous scale in force.
+  src.set_rate_scale(2.0);
+  EXPECT_THROW(src.set_rate_scale(-3.0), std::invalid_argument);
+  VoiceSource ref(test_config(), common::RngStream(12));
+  ref.set_rate_scale(2.0);
+  for (long i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>(i) * kFrame;
+    ASSERT_EQ(src.on_frame(t).packets_generated,
+              ref.on_frame(t).packets_generated);
+  }
 }
 
 TEST(VoiceSource, LongGapBetweenCallsReplaysEverything) {

@@ -53,6 +53,14 @@ Radio / PHY:
                        closed-form jump (statistically exact, different
                        realization). The "chan stride" column reports the
                        mean user-frames folded into one jump.
+  traffic_rng=mt|compact  generator behind the per-user traffic/MAC
+                       streams: mt (default) is the historical mt19937_64
+                       (legacy results bit-identical); compact swaps in
+                       ~24-byte splitmix64 counter streams — statistically
+                       equivalent, a different realization, and the
+                       per-attached-user memory floor of very large
+                       sparse worlds collapses by ~two orders of
+                       magnitude. Channel/base-station streams keep mt.
 
 Mobility / multi-cell (cells >= 2 enables the CellularWorld scenario):
   cells=N              base stations, one protocol engine each (default 1)
@@ -165,7 +173,7 @@ const std::vector<std::string> kKnownKeys = {
     "warmup", "measure", "replications", "sweep", "x", "mean_snr_db",
     "shadow_sigma_db", "doppler_hz", "kmh", "diversity", "fixed_ref_db",
     "target_ber", "csi_noise_db", "csi_validity_frames", "ack_loss",
-    "tx_power_w", "channel", "cells", "threads", "shards",
+    "tx_power_w", "channel", "traffic_rng", "cells", "threads", "shards",
     "handoff_hysteresis_db", "mobility",
     "cell_radius_m", "layout", "reuse", "wrap", "band", "interference",
     "verify",
@@ -254,6 +262,13 @@ mac::ScenarioParams scenario_from(const common::KeyValueConfig& config) {
     throw std::invalid_argument("channel= must be eager or lazy");
   }
   params.lazy_channel = chan == "lazy";
+
+  const std::string rng = config.get_string_or("traffic_rng", "mt");
+  if (rng != "mt" && rng != "compact") {
+    throw std::invalid_argument("traffic_rng= must be mt or compact");
+  }
+  params.traffic_rng =
+      rng == "compact" ? common::RngKind::kCompact : common::RngKind::kMt;
   return params;
 }
 
@@ -384,9 +399,10 @@ mac::CellularConfig cellular_from(const common::KeyValueConfig& config,
     world.modulation.period_s = f[1];
     if (f.size() == 3) world.modulation.wavelength_m = f[2];
   }
-  if (!world.modulation.valid()) {
-    throw std::invalid_argument("flash=/diurnal= parameters are out of range");
-  }
+  // Per-field rejection naming the knob: "diurnal=: amplitude must be in
+  // [0, 1) ..." instead of a generic out-of-range message.
+  traffic::validate_or_throw(world.modulation,
+                             config.contains("flash") ? "flash" : "diurnal");
 
   const double radius = config.get_double_or("cell_radius_m", 500.0);
   if (hex) {
